@@ -1,0 +1,41 @@
+# Development entry points for the MROAM reproduction.
+
+GO ?= go
+
+.PHONY: all build test vet fmt bench repro examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+# One benchmark per table/figure of the paper plus ablations; see
+# EXPERIMENTS.md for a recorded run.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the full evaluation (text + CSV) into results/.
+repro:
+	mkdir -p results
+	$(GO) run ./cmd/mroam exp -all -scale 0.25 -seed 42 -restarts 3 \
+		-csv results/figures.csv | tee results/figures.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/nycmarket
+	$(GO) run ./examples/sgbusstops
+	$(GO) run ./examples/telecom
+	$(GO) run ./examples/dailyops
+	$(GO) run ./examples/hardnessdemo
+
+clean:
+	$(GO) clean ./...

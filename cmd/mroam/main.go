@@ -1,0 +1,485 @@
+// Command mroam is the command-line interface to the MROAM reproduction:
+// dataset generation, dataset statistics (Table 5 / Figure 1), single-
+// instance solving, and regeneration of any figure of the paper's
+// evaluation.
+//
+// Usage:
+//
+//	mroam gen   -city NYC -scale 0.25 -seed 42 -out data/nyc
+//	mroam stats -scale 0.25 -seed 42
+//	mroam solve -city NYC -scale 0.25 -alpha 1.0 -p 0.05 -alg BLS
+//	mroam exp   -fig 4 -scale 0.25 -restarts 5
+//	mroam exp   -all -scale 0.25 -csv results.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/experiment"
+	"repro/internal/market"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/simulate"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mroam:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		usage(out)
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "gen":
+		return cmdGen(args[1:], out)
+	case "stats":
+		return cmdStats(args[1:], out)
+	case "solve":
+		return cmdSolve(args[1:], out)
+	case "exp":
+		return cmdExp(args[1:], out)
+	case "sim":
+		return cmdSim(args[1:], out)
+	case "gap":
+		return cmdGap(args[1:], out)
+	case "plan":
+		return cmdPlan(args[1:], out)
+	case "help", "-h", "--help":
+		usage(out)
+		return nil
+	default:
+		usage(out)
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage(out io.Writer) {
+	fmt.Fprintln(out, `mroam — Minimizing the Regret of an Influence Provider (SIGMOD 2021 reproduction)
+
+subcommands:
+  gen    generate a synthetic city dataset and save it to a directory
+  stats  print Table 5 and the Figure 1 distribution curves
+  solve  solve one MROAM instance and print the plan summary
+  exp    regenerate a figure (-fig N) or the whole evaluation (-all)
+  sim    simulate a rolling daily market under each allocation policy
+  gap    measure heuristics against the exact optimum on small instances
+  plan   solve one instance, write the plan JSON, and print the audit
+  help   show this message`)
+}
+
+func parseCity(s string) (dataset.City, error) {
+	switch strings.ToUpper(s) {
+	case "NYC":
+		return dataset.NYC, nil
+	case "SG":
+		return dataset.SG, nil
+	default:
+		return 0, fmt.Errorf("unknown city %q (want NYC or SG)", s)
+	}
+}
+
+func cmdGen(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	city := fs.String("city", "NYC", "city to generate (NYC or SG)")
+	scale := fs.Float64("scale", 1.0, "fraction of the default dataset scale")
+	seed := fs.Uint64("seed", 42, "generator seed")
+	outDir := fs.String("out", "", "output directory (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *outDir == "" {
+		return fmt.Errorf("gen: -out is required")
+	}
+	c, err := parseCity(*city)
+	if err != nil {
+		return err
+	}
+	var cfg dataset.Config
+	if c == dataset.NYC {
+		cfg = dataset.DefaultNYC(*seed)
+	} else {
+		cfg = dataset.DefaultSG(*seed)
+	}
+	d, err := dataset.Generate(cfg.Scale(*scale))
+	if err != nil {
+		return err
+	}
+	if err := d.Save(*outDir); err != nil {
+		return err
+	}
+	row := d.Table5()
+	fmt.Fprintf(out, "wrote %s: |T|=%d |U|=%d avgDist=%.2fkm avgTime=%.0fs\n",
+		*outDir, row.NumTraj, row.NumBillboards, row.AvgDistanceKM, row.AvgTravelSec)
+	return nil
+}
+
+func cmdStats(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	scale := fs.Float64("scale", 0.25, "fraction of the default dataset scale")
+	seed := fs.Uint64("seed", 42, "generator seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	r := experiment.NewRunner(experiment.Config{Scale: *scale, Seed: *seed})
+
+	rows, err := r.Table5()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "Table 5: dataset statistics")
+	tbl := report.NewTable("dataset", "|T|", "|U|", "AvgDistance", "AvgTravelTime")
+	for _, row := range rows {
+		tbl.AddRow(row.Name,
+			fmt.Sprintf("%d", row.NumTraj),
+			fmt.Sprintf("%d", row.NumBillboards),
+			fmt.Sprintf("%.1fkm", row.AvgDistanceKM),
+			fmt.Sprintf("%.0fs", row.AvgTravelSec))
+	}
+	if err := tbl.Write(out); err != nil {
+		return err
+	}
+
+	series, err := r.Figure1()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "\nFigure 1: influence and impression distributions (λ=100m)")
+	dist := report.NewTable("city", "fraction", "norm influence (1a)", "impressions (1b)")
+	for _, s := range series {
+		for i, f := range s.SampleFractions {
+			dist.AddRow(s.City.String(),
+				fmt.Sprintf("%.0f%%", f*100),
+				fmt.Sprintf("%.3f", s.InfluenceCurve[i]),
+				fmt.Sprintf("%.3f", s.ImpressionCurve[i]))
+		}
+	}
+	return dist.Write(out)
+}
+
+func cmdSolve(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("solve", flag.ContinueOnError)
+	city := fs.String("city", "NYC", "city (NYC or SG); ignored when -data is set")
+	data := fs.String("data", "", "load a saved dataset directory instead of generating")
+	scale := fs.Float64("scale", 0.25, "fraction of the default dataset scale")
+	seed := fs.Uint64("seed", 42, "seed for dataset, market and search")
+	alpha := fs.Float64("alpha", market.DefaultAlpha, "demand-supply ratio α")
+	p := fs.Float64("p", market.DefaultP, "average-individual demand ratio p")
+	gamma := fs.Float64("gamma", market.DefaultGamma, "unsatisfied penalty ratio γ")
+	lambda := fs.Float64("lambda", market.DefaultLambda, "influence radius λ in meters")
+	algName := fs.String("alg", "BLS", "algorithm: G-Order, G-Global, ALS or BLS")
+	restarts := fs.Int("restarts", core.DefaultRestarts, "local search restarts")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var d *dataset.Dataset
+	var err error
+	if *data != "" {
+		d, err = dataset.Load(*data)
+	} else {
+		var c dataset.City
+		c, err = parseCity(*city)
+		if err != nil {
+			return err
+		}
+		var cfg dataset.Config
+		if c == dataset.NYC {
+			cfg = dataset.DefaultNYC(*seed)
+		} else {
+			cfg = dataset.DefaultSG(*seed)
+		}
+		d, err = dataset.Generate(cfg.Scale(*scale))
+	}
+	if err != nil {
+		return err
+	}
+
+	u, err := d.BuildUniverse(*lambda)
+	if err != nil {
+		return err
+	}
+	inst, err := market.NewInstance(u, market.Config{Alpha: *alpha, P: *p}, *gamma,
+		rng.New(*seed).Derive("market"))
+	if err != nil {
+		return err
+	}
+	alg, err := core.AlgorithmByName(*algName, *seed, *restarts)
+	if err != nil {
+		return err
+	}
+
+	m := experiment.Run(inst, alg)
+	fmt.Fprintf(out, "%s on %s (α=%.0f%%, p=%.0f%%, γ=%.2f, λ=%.0fm, |A|=%d, |U|=%d, |T|=%d)\n",
+		alg.Name(), d.Config.City, *alpha*100, *p*100, *gamma, *lambda,
+		inst.NumAdvertisers(), u.NumBillboards(), u.NumTrajectories())
+	fmt.Fprintf(out, "  total regret:        %.1f\n", m.TotalRegret)
+	fmt.Fprintf(out, "  excessive influence: %.1f (%.1f%%)\n", m.Excess, m.ExcessPct())
+	fmt.Fprintf(out, "  unsatisfied penalty: %.1f (%.1f%%)\n", m.Unsatisfied, m.UnsatisfiedPct())
+	fmt.Fprintf(out, "  satisfied:           %d/%d advertisers\n", m.SatisfiedCount, m.NumAdvertisers)
+	fmt.Fprintf(out, "  runtime:             %v (%d marginal evaluations)\n", m.Runtime, m.Evals)
+	return nil
+}
+
+func cmdExp(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("exp", flag.ContinueOnError)
+	figNum := fs.Int("fig", 0, "figure number to regenerate (2-12)")
+	all := fs.Bool("all", false, "regenerate every figure")
+	scale := fs.Float64("scale", 0.25, "fraction of the default dataset scale")
+	seed := fs.Uint64("seed", 42, "seed")
+	restarts := fs.Int("restarts", 3, "local search restarts")
+	parallel := fs.Int("parallel", 1, "run a figure's points with this many workers (regret figures only)")
+	csvPath := fs.String("csv", "", "also write raw numbers as CSV to this file")
+	svgDir := fs.String("svg", "", "also write one SVG chart per figure into this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !*all && (*figNum < 2 || *figNum > 12) {
+		return fmt.Errorf("exp: pass -fig N (2-12) or -all")
+	}
+	r := experiment.NewRunner(experiment.Config{Scale: *scale, Seed: *seed, Restarts: *restarts, Parallel: *parallel})
+
+	nums := []int{*figNum}
+	if *all {
+		nums = []int{2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	}
+
+	var csvFile *os.File
+	if *csvPath != "" {
+		var err error
+		csvFile, err = os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer csvFile.Close()
+	}
+	if *svgDir != "" {
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	for _, num := range nums {
+		figs, err := r.Figure(num)
+		if err != nil {
+			return err
+		}
+		for _, fig := range figs {
+			var werr error
+			if num == 8 || num == 9 {
+				werr = report.WriteRuntimeFigure(out, fig)
+			} else {
+				werr = report.WriteFigure(out, fig)
+			}
+			if werr != nil {
+				return werr
+			}
+			fmt.Fprintln(out)
+			if csvFile != nil {
+				if err := report.WriteFigureCSV(csvFile, fig); err != nil {
+					return err
+				}
+			}
+			if *svgDir != "" && num != 8 && num != 9 {
+				f, err := os.Create(filepath.Join(*svgDir, fig.ID+".svg"))
+				if err != nil {
+					return err
+				}
+				if err := report.WriteFigureSVG(f, fig); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func cmdSim(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sim", flag.ContinueOnError)
+	city := fs.String("city", "NYC", "city (NYC or SG)")
+	scale := fs.Float64("scale", 0.12, "fraction of the default dataset scale")
+	seed := fs.Uint64("seed", 42, "seed")
+	days := fs.Int("days", 30, "simulation horizon in days")
+	arrivals := fs.Int("arrivals", 4, "expected proposals per day")
+	restarts := fs.Int("restarts", 2, "local search restarts per daily allocation")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := parseCity(*city)
+	if err != nil {
+		return err
+	}
+	var dcfg dataset.Config
+	if c == dataset.NYC {
+		dcfg = dataset.DefaultNYC(*seed)
+	} else {
+		dcfg = dataset.DefaultSG(*seed)
+	}
+	d, err := dataset.Generate(dcfg.Scale(*scale))
+	if err != nil {
+		return err
+	}
+	u, err := d.BuildUniverse(market.DefaultLambda)
+	if err != nil {
+		return err
+	}
+	cfg := simulate.Config{
+		Days:             *days,
+		ArrivalsPerDay:   *arrivals,
+		ContractMinDays:  3,
+		ContractMaxDays:  7,
+		DemandFractionLo: 0.08,
+		DemandFractionHi: 0.22,
+		Gamma:            market.DefaultGamma,
+		Seed:             *seed,
+	}
+	results, err := simulate.ComparePolicies(u, core.PaperAlgorithms(*seed, *restarts), cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%d-day rolling market on %s (%d billboards, %d trips)\n",
+		*days, c, u.NumBillboards(), u.NumTrajectories())
+	tbl := report.NewTable("policy", "revenue", "cum regret", "satisfied", "proposals")
+	for _, name := range []string{"G-Order", "G-Global", "ALS", "BLS"} {
+		r := results[name]
+		tbl.AddRow(name,
+			fmt.Sprintf("%.0f", r.TotalRevenue),
+			fmt.Sprintf("%.0f", r.TotalRegret),
+			fmt.Sprintf("%d", r.TotalSatisfied),
+			fmt.Sprintf("%d", r.TotalProposals))
+	}
+	return tbl.Write(out)
+}
+
+func cmdGap(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gap", flag.ContinueOnError)
+	instances := fs.Int("instances", 20, "number of random small instances")
+	billboards := fs.Int("billboards", 8, "billboards per instance (exact-solvable)")
+	advertisers := fs.Int("advertisers", 2, "advertisers per instance")
+	seed := fs.Uint64("seed", 42, "seed")
+	restarts := fs.Int("restarts", 3, "local search restarts")
+	md := fs.Bool("md", false, "emit a markdown table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows, err := experiment.ApproximationGap(experiment.GapConfig{
+		Instances:   *instances,
+		Billboards:  *billboards,
+		Advertisers: *advertisers,
+		Seed:        *seed,
+		Restarts:    *restarts,
+	})
+	if err != nil {
+		return err
+	}
+	if *md {
+		return report.WriteGapMarkdown(out, rows)
+	}
+	fmt.Fprintf(out, "approximation gap vs exact optimum (%d instances, %d billboards, %d advertisers)\n",
+		*instances, *billboards, *advertisers)
+	tbl := report.NewTable("algorithm", "mean ratio", "worst ratio", "exact hits")
+	for _, row := range rows {
+		tbl.AddRow(row.Algorithm,
+			fmt.Sprintf("%.3f", row.MeanRatio),
+			fmt.Sprintf("%.3f", row.WorstRatio),
+			fmt.Sprintf("%d/%d", row.OptimalHits, row.Instances))
+	}
+	return tbl.Write(out)
+}
+
+func cmdPlan(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("plan", flag.ContinueOnError)
+	city := fs.String("city", "NYC", "city (NYC or SG)")
+	scale := fs.Float64("scale", 0.12, "fraction of the default dataset scale")
+	seed := fs.Uint64("seed", 42, "seed")
+	alpha := fs.Float64("alpha", market.DefaultAlpha, "demand-supply ratio α")
+	p := fs.Float64("p", market.DefaultP, "average-individual demand ratio p")
+	algName := fs.String("alg", "BLS", "algorithm")
+	restarts := fs.Int("restarts", 3, "local search restarts")
+	outPath := fs.String("out", "", "write the plan JSON to this file")
+	topN := fs.Int("top", 10, "audit rows to print (by descending regret)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := parseCity(*city)
+	if err != nil {
+		return err
+	}
+	var dcfg dataset.Config
+	if c == dataset.NYC {
+		dcfg = dataset.DefaultNYC(*seed)
+	} else {
+		dcfg = dataset.DefaultSG(*seed)
+	}
+	d, err := dataset.Generate(dcfg.Scale(*scale))
+	if err != nil {
+		return err
+	}
+	u, err := d.BuildUniverse(market.DefaultLambda)
+	if err != nil {
+		return err
+	}
+	inst, err := market.NewInstance(u, market.Config{Alpha: *alpha, P: *p},
+		market.DefaultGamma, rng.New(*seed).Derive("market"))
+	if err != nil {
+		return err
+	}
+	alg, err := core.AlgorithmByName(*algName, *seed, *restarts)
+	if err != nil {
+		return err
+	}
+	plan := alg.Solve(inst)
+
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := core.WritePlan(f, plan); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "plan written to %s\n", *outPath)
+	}
+
+	excess, unsat := plan.Breakdown()
+	fmt.Fprintf(out, "%s: regret %.1f (waste %.1f, unsatisfied %.1f), revenue %.1f of %.1f, satisfied %d/%d\n",
+		alg.Name(), plan.TotalRegret(), excess, unsat,
+		core.Revenue(plan), inst.TotalPayment(),
+		plan.SatisfiedCount(), inst.NumAdvertisers())
+	fmt.Fprintf(out, "fractional lower bound on optimal regret: %.1f\n\n", core.LowerBound(inst))
+
+	rows := core.Audit(plan)
+	if *topN < len(rows) {
+		rows = rows[:*topN]
+	}
+	tbl := report.NewTable("advertiser", "demand", "achieved", "billboards", "satisfied", "regret")
+	for _, row := range rows {
+		tbl.AddRow(
+			fmt.Sprintf("%d", row.Advertiser),
+			fmt.Sprintf("%d", row.Demand),
+			fmt.Sprintf("%d (%.0f%%)", row.Achieved, row.Fulfillment*100),
+			fmt.Sprintf("%d", row.Billboards),
+			fmt.Sprintf("%v", row.Satisfied),
+			fmt.Sprintf("%.1f", row.Regret))
+	}
+	return tbl.Write(out)
+}

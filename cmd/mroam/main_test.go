@@ -1,0 +1,162 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI executes the CLI entry point with the given args and returns its
+// stdout; fatal on unexpected error.
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run(%v): %v\noutput:\n%s", args, err, sb.String())
+	}
+	return sb.String()
+}
+
+func TestNoArgs(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err == nil {
+		t.Fatal("no subcommand accepted")
+	}
+	if !strings.Contains(sb.String(), "subcommands") {
+		t.Error("usage not printed")
+	}
+}
+
+func TestUnknownSubcommand(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"frobnicate"}, &sb); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+}
+
+func TestHelp(t *testing.T) {
+	out := runCLI(t, "help")
+	for _, want := range []string{"gen", "stats", "solve", "exp", "sim", "gap"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("help missing %q", want)
+		}
+	}
+}
+
+func TestGenAndSolveFromData(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nyc")
+	out := runCLI(t, "gen", "-city", "NYC", "-scale", "0.02", "-seed", "5", "-out", dir)
+	if !strings.Contains(out, "wrote") || !strings.Contains(out, "|T|=800") {
+		t.Errorf("gen output: %s", out)
+	}
+	out = runCLI(t, "solve", "-data", dir, "-alg", "G-Global", "-p", "0.2", "-alpha", "0.8")
+	for _, want := range []string{"G-Global on NYC", "total regret", "satisfied"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("solve output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGenRequiresOut(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"gen"}, &sb); err == nil {
+		t.Fatal("gen without -out accepted")
+	}
+}
+
+func TestGenRejectsBadCity(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"gen", "-city", "Atlantis", "-out", t.TempDir()}, &sb); err == nil {
+		t.Fatal("bad city accepted")
+	}
+}
+
+func TestStats(t *testing.T) {
+	out := runCLI(t, "stats", "-scale", "0.02", "-seed", "3")
+	for _, want := range []string{"Table 5", "NYC", "SG", "Figure 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats output missing %q", want)
+		}
+	}
+}
+
+func TestSolveBadAlgorithm(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"solve", "-scale", "0.02", "-alg", "Simplex"}, &sb)
+	if err == nil {
+		t.Fatal("bad algorithm accepted")
+	}
+}
+
+func TestExpSingleFigure(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "out.csv")
+	out := runCLI(t, "exp", "-fig", "4", "-scale", "0.02", "-restarts", "1", "-csv", csv)
+	for _, want := range []string{"fig4", "α=40%", "α=120%", "BLS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exp output missing %q", want)
+		}
+	}
+}
+
+func TestExpRequiresFigOrAll(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"exp"}, &sb); err == nil {
+		t.Fatal("exp without -fig/-all accepted")
+	}
+	if err := run([]string{"exp", "-fig", "99"}, &sb); err == nil {
+		t.Fatal("out-of-range figure accepted")
+	}
+}
+
+func TestSim(t *testing.T) {
+	out := runCLI(t, "sim", "-scale", "0.03", "-days", "5", "-restarts", "1")
+	for _, want := range []string{"rolling market", "G-Order", "BLS", "revenue"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sim output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGap(t *testing.T) {
+	out := runCLI(t, "gap", "-instances", "3", "-billboards", "6", "-restarts", "1")
+	if !strings.Contains(out, "approximation gap") || !strings.Contains(out, "BLS") {
+		t.Errorf("gap output:\n%s", out)
+	}
+	md := runCLI(t, "gap", "-instances", "3", "-billboards", "6", "-restarts", "1", "-md")
+	if !strings.Contains(md, "| algorithm |") {
+		t.Errorf("gap -md output:\n%s", md)
+	}
+}
+
+func TestPlanSubcommand(t *testing.T) {
+	planPath := filepath.Join(t.TempDir(), "plan.json")
+	out := runCLI(t, "plan", "-scale", "0.03", "-restarts", "1", "-top", "3", "-out", planPath)
+	for _, want := range []string{"plan written", "regret", "lower bound", "advertiser"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plan output missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := runCLIErr("plan", "-alg", "Nope"); err == nil {
+		t.Error("bad algorithm accepted")
+	}
+}
+
+// runCLIErr runs the CLI expecting a possible error.
+func runCLIErr(args ...string) (string, error) {
+	var sb strings.Builder
+	err := run(args, &sb)
+	return sb.String(), err
+}
+
+func TestExpSVGOutput(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "svg")
+	runCLI(t, "exp", "-fig", "4", "-scale", "0.02", "-restarts", "1", "-svg", dir)
+	data, err := os.ReadFile(filepath.Join(dir, "fig4.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") {
+		t.Fatal("svg file malformed")
+	}
+}

@@ -1,0 +1,77 @@
+package mroam_test
+
+import (
+	"fmt"
+
+	mroam "repro"
+)
+
+// The paper's worked example (Tables 1-4): six billboards with influences
+// {2, 6, 3, 7, 1, 1} over disjoint audiences and three advertisers. The
+// zero-regret deployment exists and BLS finds it.
+func Example() {
+	influences := []int{2, 6, 3, 7, 1, 1}
+	lists := make([]mroam.CoverageList, len(influences))
+	next := int32(0)
+	for i, n := range influences {
+		for j := 0; j < n; j++ {
+			lists[i] = append(lists[i], next)
+			next++
+		}
+	}
+	u, err := mroam.NewUniverse(int(next), lists)
+	if err != nil {
+		panic(err)
+	}
+	inst, err := mroam.NewInstance(u, []mroam.Advertiser{
+		{Demand: 5, Payment: 10},
+		{Demand: 7, Payment: 11},
+		{Demand: 8, Payment: 20},
+	}, mroam.DefaultGamma)
+	if err != nil {
+		panic(err)
+	}
+	plan := mroam.BLS(inst, mroam.SearchOptions{Restarts: 5, Seed: 1})
+	fmt.Printf("regret %.0f, satisfied %d/3\n", plan.TotalRegret(), plan.SatisfiedCount())
+	// Output: regret 0, satisfied 3/3
+}
+
+// Direct universes make the solvers applicable to any resource-provisioning
+// problem: here three server pools covering customer shards, leased to two
+// tenants.
+func ExampleNewUniverse() {
+	u, err := mroam.NewUniverse(9, []mroam.CoverageList{
+		{0, 1, 2},
+		{3, 4, 5},
+		{6, 7, 8},
+	})
+	if err != nil {
+		panic(err)
+	}
+	inst, err := mroam.NewInstance(u, []mroam.Advertiser{
+		{Demand: 6, Payment: 60},
+		{Demand: 3, Payment: 30},
+	}, mroam.DefaultGamma)
+	if err != nil {
+		panic(err)
+	}
+	plan := mroam.GGlobal(inst)
+	fmt.Printf("tenant 0: %d shards, tenant 1: %d shards\n",
+		plan.Influence(0), plan.Influence(1))
+	// Output: tenant 0: 6 shards, tenant 1: 3 shards
+}
+
+// The regret model of Equation 1, evaluated directly.
+func ExampleInstance_Regret() {
+	u, _ := mroam.NewUniverse(1, []mroam.CoverageList{{0}})
+	inst, _ := mroam.NewInstance(u, []mroam.Advertiser{
+		{Demand: 10, Payment: 100},
+	}, 0.5)
+	fmt.Println(inst.Regret(0, 5))  // unsatisfied: 100·(1 − 0.5·5/10)
+	fmt.Println(inst.Regret(0, 10)) // exactly satisfied
+	fmt.Println(inst.Regret(0, 15)) // over-satisfied: 100·(15−10)/10
+	// Output:
+	// 75
+	// 0
+	// 50
+}

@@ -1,0 +1,54 @@
+// sgbusstops: a bus-stop panel operator in a Singapore-style network.
+//
+// Bus-stop billboards see exactly the riders of the routes serving their
+// stop, so coverage barely changes with the influence radius λ below the
+// stop spacing — one of the paper's findings (Figure 12b). The example
+// generates the synthetic SG dataset, shows that λ-insensitivity, and then
+// allocates the default market with BLS at each λ.
+//
+//	go run ./examples/sgbusstops
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mroam "repro"
+)
+
+func main() {
+	const (
+		seed  = 7
+		scale = 0.08
+	)
+	ds, err := mroam.GenerateSG(seed, scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	row := ds.Table5()
+	fmt.Printf("SG network: %d bus rides, %d stop panels (avg ride %.1f km, %.0f s)\n\n",
+		row.NumTraj, row.NumBillboards, row.AvgDistanceKM, row.AvgTravelSec)
+
+	fmt.Println("λ sensitivity (supply = Σ per-panel influence):")
+	for _, lambda := range []float64{50, 100, 150, 200} {
+		u, err := ds.BuildUniverse(lambda)
+		if err != nil {
+			log.Fatal(err)
+		}
+		advs, err := mroam.GenerateMarket(u,
+			mroam.MarketConfig{Alpha: mroam.DefaultAlpha, P: mroam.DefaultP}, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inst, err := mroam.NewInstance(u, advs, mroam.DefaultGamma)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan := mroam.BLS(inst, mroam.SearchOptions{Restarts: 2, Seed: seed})
+		fmt.Printf("  λ=%3.0fm  supply %8d  BLS regret %8.1f  satisfied %d/%d\n",
+			lambda, u.TotalSupply(), plan.TotalRegret(),
+			plan.SatisfiedCount(), inst.NumAdvertisers())
+	}
+	fmt.Println("\nBelow ~150m the supply and the regret barely move: riders are either")
+	fmt.Println("at the stop (distance 0) or a whole stop away — the paper's Figure 12b.")
+}

@@ -1,0 +1,183 @@
+// Package bitset implements a dense, fixed-capacity bitset over uint64 words.
+//
+// The coverage machinery uses bitsets to take unions of billboard coverage
+// sets when evaluating the influence I(S) of a deployment plan from scratch;
+// one bit per trajectory. Incremental evaluation during search uses counting
+// (package coverage) instead, but bitsets remain the fastest way to compute
+// full-set influence, overlap statistics (Figure 1b) and test oracles.
+package bitset
+
+import "math/bits"
+
+const wordBits = 64
+
+// Set is a bitset with a fixed capacity established at construction. The
+// zero value is an empty set of capacity 0.
+type Set struct {
+	words []uint64
+	n     int // capacity in bits
+}
+
+// New returns an empty set with capacity for bits 0..n-1.
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Cap returns the capacity in bits.
+func (s *Set) Cap() int { return s.n }
+
+// Set sets bit i. It panics if i is out of range.
+func (s *Set) Set(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear clears bit i. It panics if i is out of range.
+func (s *Set) Clear(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Test reports whether bit i is set. It panics if i is out of range.
+func (s *Set) Test(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic("bitset: index out of range")
+	}
+}
+
+// Count returns the number of set bits (population count).
+func (s *Set) Count() int {
+	total := 0
+	for _, w := range s.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// Reset clears all bits.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}
+
+// Or sets s to the union s ∪ t. The sets must have equal capacity.
+func (s *Set) Or(t *Set) {
+	s.checkCompat(t)
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
+// And sets s to the intersection s ∩ t. The sets must have equal capacity.
+func (s *Set) And(t *Set) {
+	s.checkCompat(t)
+	for i, w := range t.words {
+		s.words[i] &= w
+	}
+}
+
+// AndNot sets s to the difference s \ t. The sets must have equal capacity.
+func (s *Set) AndNot(t *Set) {
+	s.checkCompat(t)
+	for i, w := range t.words {
+		s.words[i] &^= w
+	}
+}
+
+// OrCount returns |s ∪ t| without modifying either set.
+func (s *Set) OrCount(t *Set) int {
+	s.checkCompat(t)
+	total := 0
+	for i, w := range t.words {
+		total += bits.OnesCount64(s.words[i] | w)
+	}
+	return total
+}
+
+// AndCount returns |s ∩ t| without modifying either set.
+func (s *Set) AndCount(t *Set) int {
+	s.checkCompat(t)
+	total := 0
+	for i, w := range t.words {
+		total += bits.OnesCount64(s.words[i] & w)
+	}
+	return total
+}
+
+// AndNotCount returns |s \ t| (bits set in s but not t) without modifying
+// either set. This is the marginal-coverage primitive: the number of
+// trajectories a billboard with coverage s would add to a plan t.
+func (s *Set) AndNotCount(t *Set) int {
+	s.checkCompat(t)
+	total := 0
+	for i, w := range t.words {
+		total += bits.OnesCount64(s.words[i] &^ w)
+	}
+	return total
+}
+
+// SetIDs sets every bit listed in ids.
+func (s *Set) SetIDs(ids []int32) {
+	for _, id := range ids {
+		s.Set(int(id))
+	}
+}
+
+// Range calls f for every set bit in ascending order; if f returns false the
+// iteration stops.
+func (s *Set) Range(f func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !f(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// IDs appends the indices of all set bits to dst in ascending order and
+// returns the extended slice.
+func (s *Set) IDs(dst []int32) []int32 {
+	s.Range(func(i int) bool {
+		dst = append(dst, int32(i))
+		return true
+	})
+	return dst
+}
+
+// Equal reports whether s and t hold the same bits and capacity.
+func (s *Set) Equal(t *Set) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i, w := range s.words {
+		if t.words[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Set) checkCompat(t *Set) {
+	if s.n != t.n {
+		panic("bitset: capacity mismatch")
+	}
+}

@@ -1,0 +1,247 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestSetClearTest(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Test(i) {
+			t.Errorf("new set has bit %d", i)
+		}
+		s.Set(i)
+		if !s.Test(i) {
+			t.Errorf("bit %d not set after Set", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Errorf("Count = %d, want 8", got)
+	}
+	s.Clear(64)
+	if s.Test(64) {
+		t.Error("bit 64 still set after Clear")
+	}
+	if got := s.Count(); got != 7 {
+		t.Errorf("Count = %d, want 7", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := New(10)
+	for name, f := range map[string]func(){
+		"Set(-1)":   func() { s.Set(-1) },
+		"Set(10)":   func() { s.Set(10) },
+		"Test(10)":  func() { s.Test(10) },
+		"Clear(10)": func() { s.Clear(10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCapacityMismatchPanics(t *testing.T) {
+	a, b := New(10), New(20)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Or with mismatched capacity did not panic")
+		}
+	}()
+	a.Or(b)
+}
+
+func TestNegativeCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+// reference set ops on maps for property testing.
+func toMap(ids []uint16, n int) map[int]bool {
+	m := map[int]bool{}
+	for _, id := range ids {
+		m[int(id)%n] = true
+	}
+	return m
+}
+
+func fromMap(m map[int]bool, n int) *Set {
+	s := New(n)
+	for i := range m {
+		s.Set(i)
+	}
+	return s
+}
+
+func TestSetOpsMatchMapModel(t *testing.T) {
+	const n = 300
+	check := func(aIDs, bIDs []uint16) bool {
+		am, bm := toMap(aIDs, n), toMap(bIDs, n)
+		a, b := fromMap(am, n), fromMap(bm, n)
+
+		or := a.Clone()
+		or.Or(b)
+		and := a.Clone()
+		and.And(b)
+		diff := a.Clone()
+		diff.AndNot(b)
+
+		wantOr, wantAnd, wantDiff := 0, 0, 0
+		for i := 0; i < n; i++ {
+			inA, inB := am[i], bm[i]
+			if inA || inB {
+				wantOr++
+				if or.Test(i) != true {
+					return false
+				}
+			} else if or.Test(i) {
+				return false
+			}
+			if inA && inB {
+				wantAnd++
+			}
+			if inA && !inB {
+				wantDiff++
+			}
+			if and.Test(i) != (inA && inB) || diff.Test(i) != (inA && !inB) {
+				return false
+			}
+		}
+		return or.Count() == wantOr &&
+			and.Count() == wantAnd &&
+			diff.Count() == wantDiff &&
+			a.OrCount(b) == wantOr &&
+			a.AndCount(b) == wantAnd &&
+			a.AndNotCount(b) == wantDiff
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountOpsDoNotMutate(t *testing.T) {
+	a, b := New(100), New(100)
+	a.Set(3)
+	a.Set(50)
+	b.Set(50)
+	b.Set(99)
+	ac, bc := a.Clone(), b.Clone()
+	_ = a.OrCount(b)
+	_ = a.AndCount(b)
+	_ = a.AndNotCount(b)
+	if !a.Equal(ac) || !b.Equal(bc) {
+		t.Fatal("count operations mutated operands")
+	}
+}
+
+func TestRangeOrderAndStop(t *testing.T) {
+	s := New(200)
+	want := []int{0, 5, 63, 64, 120, 199}
+	for _, i := range want {
+		s.Set(i)
+	}
+	var got []int
+	s.Range(func(i int) bool {
+		got = append(got, i)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %d bits, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range order: got %v, want %v", got, want)
+		}
+	}
+	count := 0
+	s.Range(func(i int) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("Range early stop visited %d, want 3", count)
+	}
+}
+
+func TestIDsAndSetIDsRoundTrip(t *testing.T) {
+	s := New(500)
+	ids := []int32{0, 17, 64, 65, 300, 499}
+	s.SetIDs(ids)
+	got := s.IDs(nil)
+	if len(got) != len(ids) {
+		t.Fatalf("IDs length %d, want %d", len(got), len(ids))
+	}
+	for i := range ids {
+		if got[i] != ids[i] {
+			t.Fatalf("IDs = %v, want %v", got, ids)
+		}
+	}
+}
+
+func TestResetAndEqual(t *testing.T) {
+	a := New(100)
+	a.Set(42)
+	b := New(100)
+	if a.Equal(b) {
+		t.Error("sets with different bits reported equal")
+	}
+	a.Reset()
+	if !a.Equal(b) {
+		t.Error("reset set not equal to empty set")
+	}
+	if a.Equal(New(101)) {
+		t.Error("sets with different capacity reported equal")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(64)
+	a.Set(1)
+	b := a.Clone()
+	b.Set(2)
+	if a.Test(2) {
+		t.Error("mutating clone affected original")
+	}
+	if !b.Test(1) {
+		t.Error("clone lost original bit")
+	}
+}
+
+func BenchmarkOrCount(b *testing.B) {
+	r := rng.New(1)
+	x, y := New(1<<20), New(1<<20)
+	for i := 0; i < 50000; i++ {
+		x.Set(r.Intn(1 << 20))
+		y.Set(r.Intn(1 << 20))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.OrCount(y)
+	}
+}
+
+func BenchmarkSetIDs(b *testing.B) {
+	r := rng.New(1)
+	ids := make([]int32, 10000)
+	for i := range ids {
+		ids[i] = int32(r.Intn(1 << 20))
+	}
+	s := New(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		s.SetIDs(ids)
+	}
+}

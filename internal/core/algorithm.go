@@ -1,0 +1,85 @@
+package core
+
+import "fmt"
+
+// Algorithm is a named MROAM solver. The four methods compared in the
+// paper's evaluation all implement it.
+type Algorithm interface {
+	// Name returns the method name as used in the paper's figures.
+	Name() string
+	// Solve computes a deployment plan for the instance.
+	Solve(inst *Instance) *Plan
+}
+
+// GOrderAlgorithm is the budget-effective greedy, "G-Order" in the figures.
+type GOrderAlgorithm struct{}
+
+// Name implements Algorithm.
+func (GOrderAlgorithm) Name() string { return "G-Order" }
+
+// Solve implements Algorithm.
+func (GOrderAlgorithm) Solve(inst *Instance) *Plan { return GreedyOrder(inst) }
+
+// GGlobalAlgorithm is the synchronous greedy, "G-Global" in the figures.
+type GGlobalAlgorithm struct{}
+
+// Name implements Algorithm.
+func (GGlobalAlgorithm) Name() string { return "G-Global" }
+
+// Solve implements Algorithm.
+func (GGlobalAlgorithm) Solve(inst *Instance) *Plan { return GGlobal(inst) }
+
+// ALSAlgorithm is the randomized local search framework with the
+// advertiser-driven neighborhood, "ALS" in the figures.
+type ALSAlgorithm struct {
+	Opts LocalSearchOptions
+}
+
+// Name implements Algorithm.
+func (ALSAlgorithm) Name() string { return "ALS" }
+
+// Solve implements Algorithm.
+func (a ALSAlgorithm) Solve(inst *Instance) *Plan {
+	opts := a.Opts
+	opts.Search = AdvertiserDriven
+	return RandomizedLocalSearch(inst, opts)
+}
+
+// BLSAlgorithm is the randomized local search framework with the
+// billboard-driven neighborhood, "BLS" in the figures.
+type BLSAlgorithm struct {
+	Opts LocalSearchOptions
+}
+
+// Name implements Algorithm.
+func (BLSAlgorithm) Name() string { return "BLS" }
+
+// Solve implements Algorithm.
+func (b BLSAlgorithm) Solve(inst *Instance) *Plan {
+	opts := b.Opts
+	opts.Search = BillboardDriven
+	return RandomizedLocalSearch(inst, opts)
+}
+
+// PaperAlgorithms returns the four methods of the evaluation section in the
+// paper's presentation order, configured with the given seed and restart
+// count (restarts < 1 selects DefaultRestarts).
+func PaperAlgorithms(seed uint64, restarts int) []Algorithm {
+	opts := LocalSearchOptions{Seed: seed, Restarts: restarts}
+	return []Algorithm{
+		GOrderAlgorithm{},
+		GGlobalAlgorithm{},
+		ALSAlgorithm{Opts: opts},
+		BLSAlgorithm{Opts: opts},
+	}
+}
+
+// AlgorithmByName returns the algorithm with the given figure name.
+func AlgorithmByName(name string, seed uint64, restarts int) (Algorithm, error) {
+	for _, a := range PaperAlgorithms(seed, restarts) {
+		if a.Name() == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("core: unknown algorithm %q", name)
+}

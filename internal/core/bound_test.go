@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestLowerBoundVacuousWhenSupplyAmple(t *testing.T) {
+	u := disjointUniverse([]int{10, 10, 10})
+	inst := MustInstance(u, []Advertiser{{Demand: 5, Payment: 10}}, 0.5)
+	if got := LowerBound(inst); got != 0 {
+		t.Fatalf("LowerBound = %v, want 0 (ample supply)", got)
+	}
+}
+
+func TestLowerBoundTightOnDisjointShortage(t *testing.T) {
+	// Supply 10, two advertisers each demanding 10 at L = 10. Envelope:
+	// fill one fully (drop 10), nothing left; bound = 20 − 10 = 10.
+	u := disjointUniverse([]int{5, 5})
+	inst := MustInstance(u, []Advertiser{
+		{Demand: 10, Payment: 10},
+		{Demand: 10, Payment: 10},
+	}, 0)
+	if got := LowerBound(inst); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("LowerBound = %v, want 10", got)
+	}
+	// The true γ=0 optimum: one advertiser satisfied exactly (both
+	// billboards), the other gets nothing → regret 10. Bound is tight.
+	opt, err := Exact(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.TotalRegret() != 10 {
+		t.Fatalf("optimum = %v, want 10", opt.TotalRegret())
+	}
+}
+
+func TestLowerBoundTrajectoryCap(t *testing.T) {
+	// One billboard covering all 5 trajectories, demand 20: even
+	// fractionally at most 5 of 20 units are attainable (x ≤ |T|), so
+	// env = 10·(1 − 5/20) = 7.5.
+	u := disjointUniverse([]int{5})
+	inst := MustInstance(u, []Advertiser{{Demand: 20, Payment: 10}}, 1)
+	if got := LowerBound(inst); math.Abs(got-7.5) > 1e-9 {
+		t.Fatalf("LowerBound = %v, want 7.5", got)
+	}
+}
+
+// TestLowerBoundNeverExceedsOptimum is the soundness property: on random
+// exact-solvable instances, LowerBound ≤ optimal regret for every γ.
+func TestLowerBoundNeverExceedsOptimum(t *testing.T) {
+	r := rng.New(606)
+	for trial := 0; trial < 15; trial++ {
+		for _, gamma := range []float64{0, 0.5, 1} {
+			inst := randomInstance(r, 60, 7, 12, 2, 1.2, gamma)
+			lb := LowerBound(inst)
+			opt, err := Exact(inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lb > opt.TotalRegret()+1e-9 {
+				t.Fatalf("trial %d γ=%v: LowerBound %v exceeds optimum %v",
+					trial, gamma, lb, opt.TotalRegret())
+			}
+		}
+	}
+}
+
+// TestLowerBoundGreedyKnapsackTrap replays the configuration where a
+// naive whole-demand greedy would over-bound: supply 10 with demands
+// (6, L=9), (5, L=6), (5, L=6) at γ=0. The true optimum satisfies the two
+// 5-demands (regret 9); the envelope bound must stay below it.
+func TestLowerBoundGreedyKnapsackTrap(t *testing.T) {
+	u := disjointUniverse([]int{5, 5})
+	inst := MustInstance(u, []Advertiser{
+		{Demand: 6, Payment: 9},
+		{Demand: 5, Payment: 6},
+		{Demand: 5, Payment: 6},
+	}, 0)
+	lb := LowerBound(inst)
+	opt, err := Exact(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.TotalRegret() != 9 {
+		t.Fatalf("optimum = %v, want 9 (satisfy both 5-demands)", opt.TotalRegret())
+	}
+	if lb > 9+1e-9 {
+		t.Fatalf("LowerBound %v exceeds optimum 9", lb)
+	}
+}
+
+func TestLowerBoundZeroAdvertisers(t *testing.T) {
+	u := disjointUniverse([]int{3})
+	inst := MustInstance(u, nil, 0.5)
+	if got := LowerBound(inst); got != 0 {
+		t.Fatalf("LowerBound = %v, want 0", got)
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import "fmt"
+
+// ExactMaxBillboards bounds the instance size Exact will attempt: the
+// search space is (|A|+1)^|U|, so anything beyond small sanity instances is
+// intractable (MROAM is NP-hard, §4).
+const ExactMaxBillboards = 16
+
+// Exact finds a minimum-regret deployment by exhaustive search, assigning
+// each billboard to one of the |A|+1 choices (an advertiser or unassigned).
+// It exists as a test oracle and for the empirical approximation-gap study;
+// it returns an error for instances with more than ExactMaxBillboards
+// billboards or when the search space exceeds ~100M states.
+func Exact(inst *Instance) (*Plan, error) {
+	nB := inst.Universe().NumBillboards()
+	nA := inst.NumAdvertisers()
+	if nB > ExactMaxBillboards {
+		return nil, fmt.Errorf("core: Exact limited to %d billboards, got %d", ExactMaxBillboards, nB)
+	}
+	states := 1.0
+	for i := 0; i < nB; i++ {
+		states *= float64(nA + 1)
+		if states > 1e8 {
+			return nil, fmt.Errorf("core: Exact search space too large: (|A|+1)^|U| = (%d)^%d", nA+1, nB)
+		}
+	}
+	cur := NewPlan(inst)
+	best := cur.Clone()
+	exactRec(cur, 0, &best)
+	return best, nil
+}
+
+// exactRec enumerates assignments of billboards [b, nB) given the partial
+// plan cur, updating *best whenever a complete assignment improves on it.
+func exactRec(cur *Plan, b int, best **Plan) {
+	nB := cur.inst.Universe().NumBillboards()
+	if b == nB {
+		if cur.TotalRegret() < (*best).TotalRegret() {
+			*best = cur.Clone()
+		}
+		return
+	}
+	// Choice: leave b unassigned.
+	exactRec(cur, b+1, best)
+	// Choice: give b to each advertiser in turn.
+	for i := 0; i < cur.inst.NumAdvertisers(); i++ {
+		cur.Assign(b, i)
+		exactRec(cur, b+1, best)
+		cur.Release(b)
+	}
+}

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// This file implements Section 6: the randomized local search framework
+// (Algorithm 3) and its two neighborhood strategies, the advertiser-driven
+// local search ALS (Algorithm 4) and the billboard-driven local search BLS
+// (Algorithm 5).
+
+// SearchKind selects the neighborhood strategy used inside the randomized
+// local search framework.
+type SearchKind uint8
+
+const (
+	// AdvertiserDriven exchanges whole billboard sets between advertiser
+	// pairs (ALS, Algorithm 4).
+	AdvertiserDriven SearchKind = iota
+	// BillboardDriven exchanges, replaces and releases individual
+	// billboards (BLS, Algorithm 5).
+	BillboardDriven
+)
+
+func (k SearchKind) String() string {
+	switch k {
+	case AdvertiserDriven:
+		return "ALS"
+	case BillboardDriven:
+		return "BLS"
+	default:
+		return fmt.Sprintf("SearchKind(%d)", uint8(k))
+	}
+}
+
+// LocalSearchOptions configures the randomized local search framework.
+type LocalSearchOptions struct {
+	// Search selects ALS or BLS as the neighborhood strategy.
+	Search SearchKind
+	// Restarts is the preset iteration count of Algorithm 3's outer loop:
+	// the number of random baseline plans to generate and improve.
+	// Values < 1 are treated as DefaultRestarts.
+	Restarts int
+	// Seed drives the random baseline plan generation.
+	Seed uint64
+	// ImprovementRatio is the r of Definition 6.1: a BLS move is only
+	// accepted if it reduces the total regret by more than
+	// r·max(R(S), 1) (strictly positive progress is enforced even at
+	// r = 0 via a tiny absolute epsilon, guaranteeing termination).
+	// Ignored by ALS. Values < 0 are treated as 0.
+	ImprovementRatio float64
+	// MaxPasses bounds the number of full neighborhood sweeps per local
+	// search invocation as a safety valve; the search normally stops
+	// earlier, when a sweep yields no accepted move. Values < 1 are
+	// treated as DefaultMaxPasses.
+	MaxPasses int
+}
+
+// Defaults for LocalSearchOptions.
+const (
+	DefaultRestarts  = 10
+	DefaultMaxPasses = 50
+	// minImprove is the absolute progress each accepted move must make,
+	// guaranteeing termination of the sweep loop even at r = 0.
+	minImprove = 1e-9
+)
+
+func (o LocalSearchOptions) withDefaults() LocalSearchOptions {
+	if o.Restarts < 1 {
+		o.Restarts = DefaultRestarts
+	}
+	if o.MaxPasses < 1 {
+		o.MaxPasses = DefaultMaxPasses
+	}
+	if o.ImprovementRatio < 0 {
+		o.ImprovementRatio = 0
+	}
+	return o
+}
+
+// threshold returns the minimum regret reduction an accepted move must
+// achieve given the current total regret.
+func (o LocalSearchOptions) threshold(current float64) float64 {
+	t := o.ImprovementRatio * current
+	if t < minImprove {
+		t = minImprove
+	}
+	return t
+}
+
+// RandomizedLocalSearch is Algorithm 3. It initializes the incumbent with
+// the synchronous greedy, then repeatedly (1) seeds a random baseline plan
+// by giving each advertiser one random billboard, (2) completes it with the
+// synchronous greedy, (3) improves it with the selected local search, and
+// keeps the best plan seen. The returned plan's Evals counter aggregates
+// the work of all restarts.
+func RandomizedLocalSearch(inst *Instance, opts LocalSearchOptions) *Plan {
+	opts = opts.withDefaults()
+	r := rng.New(opts.Seed)
+
+	best := SynchronousGreedy(NewPlan(inst))
+	localSearch(best, opts)
+	totalEvals := best.Evals()
+
+	for iter := 0; iter < opts.Restarts; iter++ {
+		cand := NewPlan(inst)
+		seedRandomPlan(cand, r.Derive(fmt.Sprintf("restart-%d", iter)))
+		SynchronousGreedy(cand)
+		localSearch(cand, opts)
+		totalEvals += cand.Evals()
+		if cand.TotalRegret() < best.TotalRegret() {
+			best = cand
+		}
+	}
+	best.AddEvals(totalEvals - best.Evals())
+	return best
+}
+
+// seedRandomPlan assigns one random distinct billboard to every advertiser
+// (Lines 3.3-3.7). If there are fewer billboards than advertisers, the
+// excess advertisers start empty.
+func seedRandomPlan(p *Plan, r *rng.RNG) {
+	pool := p.UnassignedBillboards(nil)
+	r.ShuffleInts(pool)
+	n := p.inst.NumAdvertisers()
+	for i := 0; i < n && i < len(pool); i++ {
+		p.Assign(pool[i], i)
+	}
+}
+
+// localSearch dispatches to the selected neighborhood strategy, improving p
+// in place.
+func localSearch(p *Plan, opts LocalSearchOptions) {
+	switch opts.Search {
+	case AdvertiserDriven:
+		AdvertiserLocalSearch(p, opts.MaxPasses)
+	case BillboardDriven:
+		BillboardLocalSearch(p, opts)
+	default:
+		panic(fmt.Sprintf("core: unknown search kind %d", opts.Search))
+	}
+}
+
+// AdvertiserLocalSearch is ALS (Algorithm 4): repeatedly scan all ordered
+// advertiser pairs and exchange their whole billboard sets whenever that
+// reduces the total regret, until a full sweep makes no exchange (or
+// maxPasses sweeps have run). It returns the number of exchanges performed.
+//
+// Exchanging sets does not change the sets' influences, only which demand
+// each influence is matched against, so each candidate exchange is
+// evaluated in O(1) from cached influences.
+func AdvertiserLocalSearch(p *Plan, maxPasses int) int {
+	if maxPasses < 1 {
+		maxPasses = DefaultMaxPasses
+	}
+	inst := p.inst
+	n := inst.NumAdvertisers()
+	exchanges := 0
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				ii, ij := p.Influence(i), p.Influence(j)
+				cur := p.Regret(i) + p.Regret(j)
+				p.AddEvals(1)
+				swapped := inst.Regret(i, ij) + inst.Regret(j, ii)
+				if swapped < cur-minImprove {
+					p.ExchangeSets(i, j)
+					exchanges++
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			return exchanges
+		}
+	}
+	return exchanges
+}
+
+// BillboardLocalSearch is BLS (Algorithm 5): a fine-grained neighborhood
+// search around the current plan using four moves, applied first-improvement
+// until a full sweep accepts nothing (or MaxPasses sweeps have run):
+//
+//	(1) exchange a billboard of one advertiser with a billboard of another;
+//	(2) replace an assigned billboard with an unassigned one;
+//	(3) release an assigned billboard;
+//	(4) allocate unassigned billboards by re-running the synchronous greedy
+//	    and keeping the result if it improves.
+//
+// A move is accepted only if it reduces total regret by more than the
+// improvement threshold derived from opts.ImprovementRatio (Definition
+// 6.1's r). It returns the number of accepted moves.
+func BillboardLocalSearch(p *Plan, opts LocalSearchOptions) int {
+	opts = opts.withDefaults()
+	inst := p.inst
+	n := inst.NumAdvertisers()
+	accepted := 0
+
+	for pass := 0; pass < opts.MaxPasses; pass++ {
+		improved := false
+
+		// Move (1): pairwise billboard exchange between advertisers.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if tryExchangeMove(p, i, j, opts) {
+					accepted++
+					improved = true
+				}
+			}
+		}
+		// Move (2): replace an assigned billboard with an unassigned one.
+		for i := 0; i < n; i++ {
+			if tryReplaceMove(p, i, opts) {
+				accepted++
+				improved = true
+			}
+		}
+		// Move (3): release an assigned billboard.
+		for i := 0; i < n; i++ {
+			if tryReleaseMove(p, i, opts) {
+				accepted++
+				improved = true
+			}
+		}
+		// Move (4): allocate unassigned billboards via the synchronous
+		// greedy; keep only if it improves (Lines 5.11-5.13).
+		before := p.TotalRegret()
+		trial := p.Clone()
+		SynchronousGreedy(trial)
+		p.AddEvals(trial.Evals() - p.Evals())
+		if trial.TotalRegret() < before-opts.threshold(before) {
+			p.CopyFrom(trial)
+			accepted++
+			improved = true
+		}
+
+		if !improved {
+			return accepted
+		}
+	}
+	return accepted
+}
+
+// tryExchangeMove searches S_i × S_j for one accepted billboard exchange
+// (first improvement) and applies it. Reports whether a move was accepted.
+func tryExchangeMove(p *Plan, i, j int, opts LocalSearchOptions) bool {
+	inst := p.inst
+	si := p.Set(i, nil)
+	sj := p.Set(j, nil)
+	for _, bm := range si {
+		for _, bn := range sj {
+			cur := p.Regret(i) + p.Regret(j)
+			di := p.SwapDeltaOf(i, bm, bn)
+			dj := p.SwapDeltaOf(j, bn, bm)
+			next := inst.Regret(i, p.Influence(i)+di) + inst.Regret(j, p.Influence(j)+dj)
+			if next < cur-opts.threshold(p.TotalRegret()) {
+				p.ExchangeBillboards(bm, bn)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// tryReplaceMove searches S_i × unassigned for one accepted replacement and
+// applies it. Reports whether a move was accepted.
+func tryReplaceMove(p *Plan, i int, opts LocalSearchOptions) bool {
+	inst := p.inst
+	si := p.Set(i, nil)
+	free := p.UnassignedBillboards(nil)
+	for _, bm := range si {
+		for _, bn := range free {
+			cur := p.Regret(i)
+			di := p.SwapDeltaOf(i, bm, bn)
+			next := inst.Regret(i, p.Influence(i)+di)
+			if next < cur-opts.threshold(p.TotalRegret()) {
+				p.Replace(bm, bn)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// tryReleaseMove searches S_i for one accepted release and applies it.
+// Reports whether a move was accepted.
+func tryReleaseMove(p *Plan, i int, opts LocalSearchOptions) bool {
+	inst := p.inst
+	for _, bm := range p.Set(i, nil) {
+		cur := p.Regret(i)
+		loss := p.LossOf(i, bm)
+		next := inst.Regret(i, p.Influence(i)-loss)
+		if next < cur-opts.threshold(p.TotalRegret()) {
+			p.Release(bm)
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file provides plan persistence and host-facing audit reports: a host
+// that computed a deployment overnight needs to hand the assignment to its
+// operations team and to re-validate it later against the same instance.
+
+// planJSON is the serialized form of a Plan. Only the assignment is stored;
+// influences and regrets are recomputed against the instance on load so a
+// stale file cannot smuggle in inconsistent cached values.
+type planJSON struct {
+	// Version guards the format.
+	Version int `json:"version"`
+	// Gamma, demands and payments fingerprint the instance so a plan
+	// cannot be silently loaded against a different problem.
+	Gamma       float64   `json:"gamma"`
+	Impressions int       `json:"impressions"`
+	Demands     []int64   `json:"demands"`
+	Payments    []float64 `json:"payments"`
+	NumBB       int       `json:"num_billboards"`
+	Assignments [][]int   `json:"assignments"` // per advertiser, sorted billboard IDs
+}
+
+const planFormatVersion = 1
+
+// WritePlan serializes the plan assignment as JSON.
+func WritePlan(w io.Writer, p *Plan) error {
+	inst := p.Instance()
+	out := planJSON{
+		Version:     planFormatVersion,
+		Gamma:       inst.Gamma(),
+		Impressions: inst.Impressions(),
+		NumBB:       inst.Universe().NumBillboards(),
+	}
+	for i := 0; i < inst.NumAdvertisers(); i++ {
+		a := inst.Advertiser(i)
+		out.Demands = append(out.Demands, a.Demand)
+		out.Payments = append(out.Payments, a.Payment)
+		out.Assignments = append(out.Assignments, p.Set(i, []int{}))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadPlan deserializes a plan written by WritePlan and replays it against
+// the instance, re-deriving all influences and regrets. It errors if the
+// file does not match the instance (advertiser count, demands, payments, γ,
+// billboard count) or encodes an invalid assignment.
+func ReadPlan(r io.Reader, inst *Instance) (*Plan, error) {
+	var in planJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: decode plan: %w", err)
+	}
+	if in.Version != planFormatVersion {
+		return nil, fmt.Errorf("core: plan format version %d, want %d", in.Version, planFormatVersion)
+	}
+	if in.Gamma != inst.Gamma() {
+		return nil, fmt.Errorf("core: plan γ=%v, instance γ=%v", in.Gamma, inst.Gamma())
+	}
+	if in.Impressions != inst.Impressions() {
+		return nil, fmt.Errorf("core: plan impressions=%d, instance %d", in.Impressions, inst.Impressions())
+	}
+	if in.NumBB != inst.Universe().NumBillboards() {
+		return nil, fmt.Errorf("core: plan has %d billboards, instance %d", in.NumBB, inst.Universe().NumBillboards())
+	}
+	if len(in.Assignments) != inst.NumAdvertisers() ||
+		len(in.Demands) != inst.NumAdvertisers() ||
+		len(in.Payments) != inst.NumAdvertisers() {
+		return nil, fmt.Errorf("core: plan has %d advertisers, instance %d", len(in.Assignments), inst.NumAdvertisers())
+	}
+	for i := 0; i < inst.NumAdvertisers(); i++ {
+		a := inst.Advertiser(i)
+		if in.Demands[i] != a.Demand || in.Payments[i] != a.Payment {
+			return nil, fmt.Errorf("core: advertiser %d fingerprint mismatch", i)
+		}
+	}
+	p := NewPlan(inst)
+	for i, set := range in.Assignments {
+		for _, b := range set {
+			if b < 0 || b >= in.NumBB {
+				return nil, fmt.Errorf("core: advertiser %d assigned out-of-range billboard %d", i, b)
+			}
+			if p.Owner(b) != Unassigned {
+				return nil, fmt.Errorf("core: billboard %d assigned twice", b)
+			}
+			p.Assign(b, i)
+		}
+	}
+	return p, nil
+}
+
+// AuditRow summarizes one advertiser's outcome under a plan.
+type AuditRow struct {
+	Advertiser int
+	Demand     int64
+	Payment    float64
+	Achieved   int
+	Billboards int
+	Satisfied  bool
+	Regret     float64
+	// Fulfillment is achieved/demand (can exceed 1 when over-satisfied).
+	Fulfillment float64
+}
+
+// Audit produces per-advertiser outcome rows sorted by descending regret —
+// the host's "who is costing me" view.
+func Audit(p *Plan) []AuditRow {
+	inst := p.Instance()
+	rows := make([]AuditRow, inst.NumAdvertisers())
+	for i := range rows {
+		a := inst.Advertiser(i)
+		rows[i] = AuditRow{
+			Advertiser:  i,
+			Demand:      a.Demand,
+			Payment:     a.Payment,
+			Achieved:    p.Influence(i),
+			Billboards:  p.SetSize(i),
+			Satisfied:   p.Satisfied(i),
+			Regret:      p.Regret(i),
+			Fulfillment: float64(p.Influence(i)) / float64(a.Demand),
+		}
+	}
+	sort.SliceStable(rows, func(x, y int) bool { return rows[x].Regret > rows[y].Regret })
+	return rows
+}
+
+// Revenue returns the payment the host actually collects under the plan:
+// the full L_i from satisfied advertisers and the γ-scaled fraction
+// γ·L_i·I(S_i)/I_i from unsatisfied ones (the business model behind
+// Equation 1's revenue-regret branch).
+func Revenue(p *Plan) float64 {
+	inst := p.Instance()
+	total := 0.0
+	for i := 0; i < inst.NumAdvertisers(); i++ {
+		a := inst.Advertiser(i)
+		if p.Satisfied(i) {
+			total += a.Payment
+		} else {
+			total += inst.Gamma() * a.Payment * float64(p.Influence(i)) / float64(a.Demand)
+		}
+	}
+	return total
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	r := rng.New(808)
+	inst := randomInstance(r, 200, 20, 25, 3, 1.0, 0.5)
+	p := GGlobal(inst)
+
+	var buf bytes.Buffer
+	if err := WritePlan(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPlan(&buf, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalRegret() != p.TotalRegret() {
+		t.Fatalf("regret drifted: %v vs %v", got.TotalRegret(), p.TotalRegret())
+	}
+	for i := 0; i < inst.NumAdvertisers(); i++ {
+		sa, sb := p.Set(i, nil), got.Set(i, nil)
+		if len(sa) != len(sb) {
+			t.Fatalf("advertiser %d set size changed", i)
+		}
+		for k := range sa {
+			if sa[k] != sb[k] {
+				t.Fatalf("advertiser %d set changed", i)
+			}
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadPlanRejectsMismatchedInstance(t *testing.T) {
+	r := rng.New(809)
+	inst := randomInstance(r, 100, 10, 15, 2, 0.8, 0.5)
+	p := GGlobal(inst)
+	var buf bytes.Buffer
+	if err := WritePlan(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.String()
+
+	otherGamma := MustInstance(inst.Universe(), []Advertiser{
+		inst.Advertiser(0), inst.Advertiser(1),
+	}, 0.25)
+	if _, err := ReadPlan(strings.NewReader(raw), otherGamma); err == nil {
+		t.Error("γ mismatch accepted")
+	}
+
+	fewerAdvs := MustInstance(inst.Universe(), []Advertiser{inst.Advertiser(0)}, 0.5)
+	if _, err := ReadPlan(strings.NewReader(raw), fewerAdvs); err == nil {
+		t.Error("advertiser count mismatch accepted")
+	}
+
+	changedDemand := MustInstance(inst.Universe(), []Advertiser{
+		{Demand: inst.Advertiser(0).Demand + 1, Payment: inst.Advertiser(0).Payment},
+		inst.Advertiser(1),
+	}, 0.5)
+	if _, err := ReadPlan(strings.NewReader(raw), changedDemand); err == nil {
+		t.Error("demand fingerprint mismatch accepted")
+	}
+}
+
+func TestReadPlanRejectsCorruptAssignments(t *testing.T) {
+	u := disjointUniverse([]int{2, 3})
+	inst := MustInstance(u, []Advertiser{{Demand: 2, Payment: 4}}, 0.5)
+	cases := map[string]string{
+		"bad json":      `{`,
+		"wrong version": `{"version":9,"gamma":0.5,"demands":[2],"payments":[4],"num_billboards":2,"assignments":[[0]]}`,
+		"bb count":      `{"version":1,"gamma":0.5,"demands":[2],"payments":[4],"num_billboards":5,"assignments":[[0]]}`,
+		"oob billboard": `{"version":1,"gamma":0.5,"demands":[2],"payments":[4],"num_billboards":2,"assignments":[[7]]}`,
+		"double assign": `{"version":1,"gamma":0.5,"demands":[2],"payments":[4],"num_billboards":2,"assignments":[[0,0]]}`,
+	}
+	for name, raw := range cases {
+		if _, err := ReadPlan(strings.NewReader(raw), inst); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestAuditSortedByRegret(t *testing.T) {
+	u := disjointUniverse([]int{5, 3})
+	inst := MustInstance(u, []Advertiser{
+		{Demand: 5, Payment: 10},
+		{Demand: 10, Payment: 30},
+	}, 0.5)
+	p := NewPlan(inst)
+	p.Assign(0, 0) // a0 satisfied exactly (regret 0)
+	p.Assign(1, 1) // a1 at 3/10 (regret 30·(1−0.5·0.3) = 25.5)
+	rows := Audit(p)
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].Advertiser != 1 || rows[1].Advertiser != 0 {
+		t.Fatalf("audit not sorted by regret: %+v", rows)
+	}
+	if !rows[1].Satisfied || rows[0].Satisfied {
+		t.Error("satisfied flags wrong")
+	}
+	if math.Abs(rows[0].Fulfillment-0.3) > 1e-12 || rows[1].Fulfillment != 1 {
+		t.Errorf("fulfillment wrong: %+v", rows)
+	}
+	if rows[0].Billboards != 1 || rows[0].Achieved != 3 {
+		t.Errorf("row detail wrong: %+v", rows[0])
+	}
+}
+
+func TestRevenue(t *testing.T) {
+	u := disjointUniverse([]int{5, 3})
+	inst := MustInstance(u, []Advertiser{
+		{Demand: 5, Payment: 10},
+		{Demand: 10, Payment: 30},
+	}, 0.5)
+	p := NewPlan(inst)
+	if Revenue(p) != 0 {
+		t.Error("empty plan should collect nothing under γ·L·0")
+	}
+	p.Assign(0, 0) // satisfied → full 10
+	p.Assign(1, 1) // 3/10 at γ=0.5 → 0.5·30·0.3 = 4.5
+	if got := Revenue(p); math.Abs(got-14.5) > 1e-9 {
+		t.Fatalf("Revenue = %v, want 14.5", got)
+	}
+	// With γ=0 the unsatisfied advertiser pays nothing.
+	inst0 := MustInstance(u, []Advertiser{
+		{Demand: 5, Payment: 10},
+		{Demand: 10, Payment: 30},
+	}, 0)
+	p0 := NewPlan(inst0)
+	p0.Assign(0, 0)
+	p0.Assign(1, 1)
+	if got := Revenue(p0); got != 10 {
+		t.Fatalf("γ=0 Revenue = %v, want 10", got)
+	}
+}
+
+// TestRevenueRegretDuality: collected revenue plus revenue regret equals
+// total payment for unsatisfied advertisers; for satisfied ones revenue is
+// full payment while regret measures opportunity cost (not cash).
+func TestRevenueRegretDuality(t *testing.T) {
+	r := rng.New(404)
+	inst := randomInstance(r, 150, 15, 20, 3, 1.2, 0.5)
+	p := GGlobal(inst)
+	revenue := Revenue(p)
+	lostRevenue := 0.0
+	for i := 0; i < inst.NumAdvertisers(); i++ {
+		if !p.Satisfied(i) {
+			lostRevenue += p.Regret(i)
+		}
+	}
+	if math.Abs(revenue+lostRevenue-inst.TotalPayment()) > 1e-6 {
+		t.Fatalf("revenue %v + unsatisfied regret %v != total payment %v",
+			revenue, lostRevenue, inst.TotalPayment())
+	}
+}

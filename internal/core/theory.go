@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file makes Section 6.3's analysis executable: the ψ statistic, the
+// (1+r)-approximate local maximum check of Definition 6.1, and the
+// approximation factor ρ of Theorem 2 for the dual maximize-R′ objective.
+// Package tests verify the theorem's inequality ρ·R′(S) ≥ R′(OPT) against
+// the exact solver on small instances.
+
+// Psi returns ψ = max_o I({o}) / I, the ratio of the largest single
+// billboard influence to advertiser i's demand (Lemma 6.1). Values ≥ 1 mean
+// one billboard alone can satisfy the demand, which voids the
+// (1−ψ)^{−|U|} branch of the bound.
+func Psi(inst *Instance, i int) float64 {
+	u := inst.Universe()
+	maxDeg := 0
+	for b := 0; b < u.NumBillboards(); b++ {
+		if d := u.Degree(b); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	return float64(maxDeg) / float64(inst.Advertiser(i).Demand)
+}
+
+// ApproximationFactor returns Theorem 2's ρ = max(1 + r·|U|, (1−ψ)^{−|U|})
+// for advertiser i under improvement ratio r. It returns +Inf when ψ ≥ 1
+// (the second branch diverges), mirroring the theory: the guarantee is
+// only informative when no single billboard dwarfs the demand.
+func ApproximationFactor(inst *Instance, i int, r float64) float64 {
+	if r < 0 {
+		r = 0
+	}
+	nU := float64(inst.Universe().NumBillboards())
+	first := 1 + r*nU
+	psi := Psi(inst, i)
+	if psi >= 1 {
+		return math.Inf(1)
+	}
+	second := math.Pow(1-psi, -nU)
+	return math.Max(first, second)
+}
+
+// IsApproxLocalMaximum reports whether the plan's set for advertiser i is a
+// (1+r)-approximate local maximum of the dual objective R′ per Definition
+// 6.1: (1+r)·R′(S) ≥ R′(S \ {o}) for every o ∈ S and (1+r)·R′(S) ≥
+// R′(S ∪ {o}) for every unassigned o ∉ S. It returns the first violating
+// billboard and direction when not.
+func IsApproxLocalMaximum(p *Plan, i int, r float64) (ok bool, violator int, direction string) {
+	inst := p.Instance()
+	base := inst.Dual(i, p.Influence(i))
+	threshold := (1 + r) * base
+	for _, b := range p.Set(i, nil) {
+		loss := p.LossOf(i, b)
+		if inst.Dual(i, p.Influence(i)-loss) > threshold+1e-9 {
+			return false, b, "remove"
+		}
+	}
+	for _, b := range p.UnassignedBillboards(nil) {
+		gain := p.GainOf(i, b)
+		if inst.Dual(i, p.Influence(i)+gain) > threshold+1e-9 {
+			return false, b, "add"
+		}
+	}
+	return true, -1, ""
+}
+
+// DualLocalSearch greedily improves advertiser i's set under the dual
+// objective R′ using single add/remove/swap moves until it reaches a
+// (1+r)-approximate local maximum (the single-advertiser search analyzed in
+// §6.3). Only unassigned billboards are considered for additions and swaps,
+// so multi-advertiser plans remain disjoint. It returns the number of
+// accepted moves.
+func DualLocalSearch(p *Plan, i int, r float64, maxMoves int) int {
+	if r < 0 {
+		r = 0
+	}
+	if maxMoves < 1 {
+		maxMoves = 10000
+	}
+	inst := p.Instance()
+	moves := 0
+	for moves < maxMoves {
+		base := inst.Dual(i, p.Influence(i))
+		threshold := (1 + r) * base
+		improved := false
+
+		for _, b := range p.UnassignedBillboards(nil) {
+			gain := p.GainOf(i, b)
+			if inst.Dual(i, p.Influence(i)+gain) > threshold+1e-9 {
+				p.Assign(b, i)
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			for _, b := range p.Set(i, nil) {
+				loss := p.LossOf(i, b)
+				if inst.Dual(i, p.Influence(i)-loss) > threshold+1e-9 {
+					p.Release(b)
+					improved = true
+					break
+				}
+			}
+		}
+		if !improved {
+		swap:
+			for _, out := range p.Set(i, nil) {
+				for _, in := range p.UnassignedBillboards(nil) {
+					delta := p.SwapDeltaOf(i, out, in)
+					if inst.Dual(i, p.Influence(i)+delta) > threshold+1e-9 {
+						p.Replace(out, in)
+						improved = true
+						break swap
+					}
+				}
+			}
+		}
+		if !improved {
+			return moves
+		}
+		moves++
+	}
+	return moves
+}
+
+// VerifyTheorem2 checks Theorem 2's inequality ρ·R′(S) ≥ R′(OPT) for a
+// single-advertiser instance: it runs DualLocalSearch to a fixed point,
+// computes ρ, finds the dual optimum exhaustively, and returns an error if
+// the bound fails. Only instances within Exact's size limits are accepted.
+func VerifyTheorem2(inst *Instance, r float64) error {
+	if inst.NumAdvertisers() != 1 {
+		return fmt.Errorf("core: Theorem 2 analysis covers the single-advertiser case, got %d", inst.NumAdvertisers())
+	}
+	p := NewPlan(inst)
+	DualLocalSearch(p, 0, r, 0)
+	if ok, b, dir := IsApproxLocalMaximum(p, 0, r); !ok {
+		return fmt.Errorf("core: search did not reach a local maximum (billboard %d, %s)", b, dir)
+	}
+	rho := ApproximationFactor(inst, 0, r)
+	if math.IsInf(rho, 1) {
+		return nil // bound vacuous when ψ ≥ 1
+	}
+	optDual, err := exactDualOptimum(inst)
+	if err != nil {
+		return err
+	}
+	got := inst.Dual(0, p.Influence(0))
+	if rho*got+1e-9 < optDual {
+		return fmt.Errorf("core: Theorem 2 violated: ρ·R'(S) = %v·%v < R'(OPT) = %v", rho, got, optDual)
+	}
+	return nil
+}
+
+// exactDualOptimum exhaustively maximizes R′ over all subsets for a
+// single-advertiser instance.
+func exactDualOptimum(inst *Instance) (float64, error) {
+	nB := inst.Universe().NumBillboards()
+	if nB > ExactMaxBillboards {
+		return 0, fmt.Errorf("core: dual optimum limited to %d billboards, got %d", ExactMaxBillboards, nB)
+	}
+	p := NewPlan(inst)
+	best := inst.Dual(0, 0)
+	var rec func(b int)
+	rec = func(b int) {
+		if b == nB {
+			if v := inst.Dual(0, p.Influence(0)); v > best {
+				best = v
+			}
+			return
+		}
+		rec(b + 1)
+		p.Assign(b, 0)
+		rec(b + 1)
+		p.Release(b)
+	}
+	rec(0)
+	return best, nil
+}

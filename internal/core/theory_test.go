@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/coverage"
+	"repro/internal/rng"
+)
+
+func singleAdvInstance(r *rng.RNG, nTraj, nBB, maxDeg int, demandFrac float64) *Instance {
+	lists := make([]coverage.List, nBB)
+	for b := range lists {
+		deg := 1 + r.Intn(maxDeg)
+		ids := make([]int32, deg)
+		for i := range ids {
+			ids[i] = int32(r.Intn(nTraj))
+		}
+		lists[b] = coverage.NewList(ids)
+	}
+	u := coverage.MustUniverse(nTraj, lists)
+	d := int64(demandFrac * float64(u.TotalSupply()))
+	if d < 1 {
+		d = 1
+	}
+	return MustInstance(u, []Advertiser{{Demand: d, Payment: float64(d)}}, 0.5)
+}
+
+func TestPsi(t *testing.T) {
+	u := disjointUniverse([]int{3, 7, 2})
+	inst := MustInstance(u, []Advertiser{{Demand: 14, Payment: 14}}, 0.5)
+	if got := Psi(inst, 0); got != 0.5 { // max degree 7, demand 14
+		t.Fatalf("Psi = %v, want 0.5", got)
+	}
+}
+
+func TestApproximationFactor(t *testing.T) {
+	u := disjointUniverse([]int{3, 7, 2}) // |U| = 3, max deg 7
+	inst := MustInstance(u, []Advertiser{{Demand: 14, Payment: 14}}, 0.5)
+	// ψ = 0.5: ρ = max(1 + r·3, (0.5)^{-3} = 8).
+	if got := ApproximationFactor(inst, 0, 0); math.Abs(got-8) > 1e-9 {
+		t.Fatalf("ρ(r=0) = %v, want 8", got)
+	}
+	if got := ApproximationFactor(inst, 0, 10); math.Abs(got-31) > 1e-9 {
+		t.Fatalf("ρ(r=10) = %v, want 1+30 = 31", got)
+	}
+	// ψ ≥ 1 → +Inf.
+	small := MustInstance(u, []Advertiser{{Demand: 5, Payment: 5}}, 0.5)
+	if got := ApproximationFactor(small, 0, 0); !math.IsInf(got, 1) {
+		t.Fatalf("ρ with ψ ≥ 1 = %v, want +Inf", got)
+	}
+	// Negative r is clamped.
+	if got := ApproximationFactor(inst, 0, -5); math.Abs(got-8) > 1e-9 {
+		t.Fatalf("ρ(r<0) = %v, want 8", got)
+	}
+}
+
+func TestDualLocalSearchReachesLocalMaximum(t *testing.T) {
+	r := rng.New(31)
+	for trial := 0; trial < 10; trial++ {
+		inst := singleAdvInstance(r, 120, 12, 25, 0.5)
+		p := NewPlan(inst)
+		moves := DualLocalSearch(p, 0, 0, 0)
+		if moves == 0 && p.Influence(0) == 0 && inst.Universe().TotalSupply() > 0 {
+			t.Fatalf("trial %d: search made no moves from empty plan", trial)
+		}
+		if ok, b, dir := IsApproxLocalMaximum(p, 0, 0); !ok {
+			t.Fatalf("trial %d: not a local maximum (billboard %d, %s)", trial, b, dir)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDualLocalSearchRespectsMaxMoves(t *testing.T) {
+	r := rng.New(32)
+	inst := singleAdvInstance(r, 200, 14, 30, 0.6)
+	p := NewPlan(inst)
+	if moves := DualLocalSearch(p, 0, 0, 1); moves > 1 {
+		t.Fatalf("maxMoves ignored: %d moves", moves)
+	}
+}
+
+// TestTheorem2Holds verifies Theorem 2's ρ·R'(S) ≥ R'(OPT) on random small
+// single-advertiser instances, for several improvement ratios.
+func TestTheorem2Holds(t *testing.T) {
+	r := rng.New(33)
+	checked := 0
+	for trial := 0; trial < 40 && checked < 15; trial++ {
+		// Demand well above the largest billboard so ψ < 1 and the
+		// bound is informative.
+		inst := singleAdvInstance(r, 150, 9, 12, 0.7)
+		if Psi(inst, 0) >= 1 {
+			continue
+		}
+		checked++
+		for _, ratio := range []float64{0, 0.05, 0.2} {
+			if err := VerifyTheorem2(inst, ratio); err != nil {
+				t.Fatalf("trial %d r=%v: %v", trial, ratio, err)
+			}
+		}
+	}
+	if checked < 5 {
+		t.Fatalf("only %d instances had ψ < 1 — generator drifted", checked)
+	}
+}
+
+func TestVerifyTheorem2Validation(t *testing.T) {
+	u := disjointUniverse([]int{2, 2})
+	multi := MustInstance(u, []Advertiser{
+		{Demand: 2, Payment: 2},
+		{Demand: 2, Payment: 2},
+	}, 0.5)
+	if err := VerifyTheorem2(multi, 0); err == nil {
+		t.Error("multi-advertiser instance accepted")
+	}
+	// Oversized universes must be rejected by the exhaustive dual step.
+	degrees := make([]int, ExactMaxBillboards+1)
+	for i := range degrees {
+		degrees[i] = 1
+	}
+	big := MustInstance(disjointUniverse(degrees), []Advertiser{
+		{Demand: int64(ExactMaxBillboards + 10), Payment: 10},
+	}, 0.5)
+	if err := VerifyTheorem2(big, 0); err == nil {
+		t.Error("oversized instance accepted")
+	}
+}
+
+func TestExactDualOptimumSimple(t *testing.T) {
+	// Demand 5 over disjoint billboards {3, 2, 4}: the dual optimum is
+	// L = 5 achieved by {3, 2}.
+	u := disjointUniverse([]int{3, 2, 4})
+	inst := MustInstance(u, []Advertiser{{Demand: 5, Payment: 5}}, 0.5)
+	got, err := exactDualOptimum(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Fatalf("dual optimum = %v, want 5", got)
+	}
+}

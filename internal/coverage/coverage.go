@@ -1,0 +1,310 @@
+// Package coverage represents which trajectories each billboard influences
+// and evaluates the influence I(S) of billboard sets, both from scratch and
+// incrementally.
+//
+// Under the paper's influence model (§7.1.2) a billboard o influences a
+// trajectory t iff some point of t lies within λ meters of o, and the
+// influence of a set S is the number of distinct trajectories influenced by
+// at least one member:
+//
+//	I(S) = Σ_t [1 − Π_{o∈S}(1 − I(o,t))] = |⋃_{o∈S} cover(o)|
+//
+// because I(o,t) ∈ {0,1}. All four MROAM algorithms spend nearly all their
+// time asking "what does adding/removing/swapping one billboard do to I(S_i)?"
+// The Counter type answers those queries in O(deg(o)) by maintaining, for one
+// advertiser's set, a per-trajectory multiset count of how many assigned
+// billboards cover it.
+package coverage
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+)
+
+// List is the set of trajectory IDs covered by one billboard, sorted
+// ascending with no duplicates.
+type List []int32
+
+// NewList sorts and deduplicates ids into a valid List. The input slice may
+// be reused as backing storage.
+func NewList(ids []int32) List {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != ids[i-1] {
+			out = append(out, id)
+		}
+	}
+	return List(out)
+}
+
+// Contains reports whether the list covers trajectory id, by binary search.
+func (l List) Contains(id int32) bool {
+	i := sort.Search(len(l), func(i int) bool { return l[i] >= id })
+	return i < len(l) && l[i] == id
+}
+
+// Universe holds the coverage lists of every billboard in a dataset together
+// with the trajectory count. It is immutable after construction and shared by
+// all Counters, algorithms and experiments that operate on the dataset.
+type Universe struct {
+	numTrajectories int
+	lists           []List
+}
+
+// NewUniverse constructs a Universe over numTrajectories trajectories with
+// the given per-billboard coverage lists. It returns an error if any list is
+// unsorted, contains duplicates, or references a trajectory out of range.
+func NewUniverse(numTrajectories int, lists []List) (*Universe, error) {
+	if numTrajectories < 0 {
+		return nil, fmt.Errorf("coverage: negative trajectory count %d", numTrajectories)
+	}
+	for b, l := range lists {
+		for i, id := range l {
+			if id < 0 || int(id) >= numTrajectories {
+				return nil, fmt.Errorf("coverage: billboard %d covers trajectory %d, universe has %d", b, id, numTrajectories)
+			}
+			if i > 0 && l[i-1] >= id {
+				return nil, fmt.Errorf("coverage: billboard %d list unsorted or duplicated at index %d", b, i)
+			}
+		}
+	}
+	return &Universe{numTrajectories: numTrajectories, lists: lists}, nil
+}
+
+// MustUniverse is NewUniverse that panics on error, for tests and generators
+// that construct lists they know to be valid.
+func MustUniverse(numTrajectories int, lists []List) *Universe {
+	u, err := NewUniverse(numTrajectories, lists)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// NumTrajectories returns the number of trajectories in the universe.
+func (u *Universe) NumTrajectories() int { return u.numTrajectories }
+
+// NumBillboards returns the number of billboards in the universe.
+func (u *Universe) NumBillboards() int { return len(u.lists) }
+
+// List returns the coverage list of billboard b. The returned slice must not
+// be modified.
+func (u *Universe) List(b int) List { return u.lists[b] }
+
+// Degree returns |cover(b)|, the number of trajectories billboard b covers.
+// This is I({b}), the influence of the single billboard.
+func (u *Universe) Degree(b int) int { return len(u.lists[b]) }
+
+// TotalSupply returns I* = Σ_o I({o}), the host's supply as defined for the
+// demand-supply ratio α (§7.1.3). Note this sums individual influences and
+// intentionally double-counts overlap, exactly as the paper defines I*.
+func (u *Universe) TotalSupply() int64 {
+	var total int64
+	for _, l := range u.lists {
+		total += int64(len(l))
+	}
+	return total
+}
+
+// UnionCount returns I(S) = |⋃_{b∈S} cover(b)| computed from scratch with a
+// bitset. Counters are faster for incremental work; this is the reference
+// evaluator and the right tool for one-shot queries.
+func (u *Universe) UnionCount(billboards []int) int {
+	bs := bitset.New(u.numTrajectories)
+	for _, b := range billboards {
+		bs.SetIDs(u.lists[b])
+	}
+	return bs.Count()
+}
+
+// UnionBitset returns the union coverage of the given billboards as a bitset
+// sized to the universe.
+func (u *Universe) UnionBitset(billboards []int) *bitset.Set {
+	bs := bitset.New(u.numTrajectories)
+	for _, b := range billboards {
+		bs.SetIDs(u.lists[b])
+	}
+	return bs
+}
+
+// Counter incrementally tracks I(S) for one mutable billboard set S. Adding
+// or removing a billboard costs O(deg(b)); marginal-gain/loss queries cost
+// the same without mutating the set.
+//
+// A Counter can also evaluate the impression-count influence measure of
+// Zhang et al., KDD 2019 ("Optimizing Impression Counts for Outdoor
+// Advertising"), which the paper cites as an orthogonal alternative (§2.2,
+// §3.1): with threshold k, a trajectory counts as influenced only after it
+// meets at least k billboards of the set. NewCounter uses k = 1 (the
+// paper's union coverage); NewCounterWithThreshold selects a larger k.
+type Counter struct {
+	u       *Universe
+	k       int32   // impression threshold; 1 = plain union coverage
+	counts  []int32 // counts[t] = #{b ∈ S : b covers t}
+	covered int     // #{t : counts[t] >= k}; this is I_k(S)
+	member  []bool  // member[b] = b ∈ S
+	size    int     // |S|
+}
+
+// NewCounter returns an empty Counter over the universe using the paper's
+// union-coverage influence (impression threshold 1).
+func NewCounter(u *Universe) *Counter {
+	return NewCounterWithThreshold(u, 1)
+}
+
+// NewCounterWithThreshold returns an empty Counter requiring k impressions
+// before a trajectory counts as influenced. It panics if k < 1.
+func NewCounterWithThreshold(u *Universe, k int) *Counter {
+	if k < 1 {
+		panic(fmt.Sprintf("coverage: impression threshold %d < 1", k))
+	}
+	return &Counter{
+		u:      u,
+		k:      int32(k),
+		counts: make([]int32, u.numTrajectories),
+		member: make([]bool, len(u.lists)),
+	}
+}
+
+// Threshold returns the impression threshold k.
+func (c *Counter) Threshold() int { return int(c.k) }
+
+// Covered returns I_k(S): with the default threshold 1, the number of
+// distinct trajectories covered.
+func (c *Counter) Covered() int { return c.covered }
+
+// Size returns |S|, the number of billboards in the set.
+func (c *Counter) Size() int { return c.size }
+
+// Has reports whether billboard b is in the set.
+func (c *Counter) Has(b int) bool { return c.member[b] }
+
+// Members appends the billboards currently in the set to dst in ascending
+// order and returns the extended slice.
+func (c *Counter) Members(dst []int) []int {
+	for b, in := range c.member {
+		if in {
+			dst = append(dst, b)
+		}
+	}
+	return dst
+}
+
+// Add inserts billboard b into the set. It panics if b is already a member.
+func (c *Counter) Add(b int) {
+	if c.member[b] {
+		panic(fmt.Sprintf("coverage: Add(%d): already a member", b))
+	}
+	c.member[b] = true
+	c.size++
+	for _, t := range c.u.lists[b] {
+		c.counts[t]++
+		if c.counts[t] == c.k {
+			c.covered++
+		}
+	}
+}
+
+// Remove deletes billboard b from the set. It panics if b is not a member.
+func (c *Counter) Remove(b int) {
+	if !c.member[b] {
+		panic(fmt.Sprintf("coverage: Remove(%d): not a member", b))
+	}
+	c.member[b] = false
+	c.size--
+	for _, t := range c.u.lists[b] {
+		if c.counts[t] == c.k {
+			c.covered--
+		}
+		c.counts[t]--
+	}
+}
+
+// Gain returns I(S ∪ {b}) − I(S): how many new trajectories b would cover.
+// b must not be a member (the gain of a member is trivially 0, and asking
+// for it almost always indicates an algorithmic bug, so it panics).
+func (c *Counter) Gain(b int) int {
+	if c.member[b] {
+		panic(fmt.Sprintf("coverage: Gain(%d): already a member", b))
+	}
+	gain := 0
+	for _, t := range c.u.lists[b] {
+		if c.counts[t] == c.k-1 {
+			gain++
+		}
+	}
+	return gain
+}
+
+// Loss returns I(S) − I(S \ {b}): how many trajectories only b covers.
+// It panics if b is not a member.
+func (c *Counter) Loss(b int) int {
+	if !c.member[b] {
+		panic(fmt.Sprintf("coverage: Loss(%d): not a member", b))
+	}
+	loss := 0
+	for _, t := range c.u.lists[b] {
+		if c.counts[t] == c.k {
+			loss++
+		}
+	}
+	return loss
+}
+
+// SwapDelta returns I((S \ {out}) ∪ {in}) − I(S) without mutating the set.
+// out must be a member and in must not be. Cost O(deg(out) + deg(in)·log
+// deg(out)).
+func (c *Counter) SwapDelta(out, in int) int {
+	if !c.member[out] {
+		panic(fmt.Sprintf("coverage: SwapDelta(out=%d): not a member", out))
+	}
+	if c.member[in] {
+		panic(fmt.Sprintf("coverage: SwapDelta(in=%d): already a member", in))
+	}
+	outList := c.u.lists[out]
+	inList := c.u.lists[in]
+	delta := 0
+	// Trajectories losing an impression (covered by out but not in).
+	for _, t := range outList {
+		if c.counts[t] == c.k && !inList.Contains(t) {
+			delta--
+		}
+	}
+	// Trajectories gaining an impression (covered by in but not out).
+	for _, t := range inList {
+		if c.counts[t] == c.k-1 && !outList.Contains(t) {
+			delta++
+		}
+	}
+	return delta
+}
+
+// Reset empties the set in O(Σ deg(member)).
+func (c *Counter) Reset() {
+	for b, in := range c.member {
+		if in {
+			c.Remove(b)
+		}
+	}
+}
+
+// Clone returns an independent copy of the counter state.
+func (c *Counter) Clone() *Counter {
+	n := &Counter{
+		u:       c.u,
+		k:       c.k,
+		counts:  make([]int32, len(c.counts)),
+		covered: c.covered,
+		member:  make([]bool, len(c.member)),
+		size:    c.size,
+	}
+	copy(n.counts, c.counts)
+	copy(n.member, c.member)
+	return n
+}
+
+// Universe returns the universe this counter operates over.
+func (c *Counter) Universe() *Universe { return c.u }

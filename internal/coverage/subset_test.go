@@ -1,0 +1,83 @@
+package coverage
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestSubuniverseBasic(t *testing.T) {
+	u := MustUniverse(10, []List{{0, 1}, {2, 3, 4}, {5}, {}})
+	sub, err := u.Subuniverse([]int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumBillboards() != 2 || sub.NumTrajectories() != 10 {
+		t.Fatalf("dims %d/%d", sub.NumBillboards(), sub.NumTrajectories())
+	}
+	// Sub-ID 0 is original billboard 2, sub-ID 1 is original 0.
+	if sub.Degree(0) != 1 || sub.Degree(1) != 2 {
+		t.Fatalf("degrees %d/%d", sub.Degree(0), sub.Degree(1))
+	}
+	if !sub.List(0).Contains(5) || !sub.List(1).Contains(0) {
+		t.Fatal("lists not remapped in keep order")
+	}
+}
+
+func TestSubuniverseValidation(t *testing.T) {
+	u := MustUniverse(5, []List{{0}, {1}})
+	if _, err := u.Subuniverse([]int{0, 0}); err == nil {
+		t.Error("duplicate keep accepted")
+	}
+	if _, err := u.Subuniverse([]int{2}); err == nil {
+		t.Error("out-of-range keep accepted")
+	}
+	if _, err := u.Subuniverse([]int{-1}); err == nil {
+		t.Error("negative keep accepted")
+	}
+	empty, err := u.Subuniverse(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.NumBillboards() != 0 {
+		t.Error("empty keep should give empty universe")
+	}
+}
+
+func TestSubuniverseInfluenceInvariant(t *testing.T) {
+	// Influence of any billboard set computed in the subuniverse must
+	// equal its influence in the original.
+	r := rng.New(606)
+	u := randomUniverse(r, 300, 30, 40)
+	keep := r.Perm(30)[:15]
+	sub, err := u.Subuniverse(keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		var subSet, origSet []int
+		for i := range keep {
+			if r.Float64() < 0.4 {
+				subSet = append(subSet, i)
+				origSet = append(origSet, keep[i])
+			}
+		}
+		if got, want := sub.UnionCount(subSet), u.UnionCount(origSet); got != want {
+			t.Fatalf("trial %d: sub influence %d, original %d", trial, got, want)
+		}
+	}
+}
+
+func TestSubuniverseCountersWork(t *testing.T) {
+	u := MustUniverse(6, []List{{0, 1}, {1, 2}, {3, 4, 5}})
+	sub, err := u.Subuniverse([]int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCounter(sub)
+	c.Add(0) // original billboard 1
+	c.Add(1) // original billboard 2
+	if c.Covered() != 5 {
+		t.Fatalf("covered = %d, want 5", c.Covered())
+	}
+}

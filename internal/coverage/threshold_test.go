@@ -1,0 +1,161 @@
+package coverage
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestThresholdCounterBasics(t *testing.T) {
+	// Three billboards over six trajectories with overlap at t=1, t=2.
+	u := MustUniverse(6, []List{
+		{0, 1, 2},
+		{1, 2, 3},
+		{2, 4, 5},
+	})
+	c := NewCounterWithThreshold(u, 2)
+	if c.Threshold() != 2 || c.Covered() != 0 {
+		t.Fatal("fresh counter wrong")
+	}
+	c.Add(0)
+	if c.Covered() != 0 {
+		t.Errorf("one billboard cannot reach k=2: covered = %d", c.Covered())
+	}
+	c.Add(1) // t=1, t=2 now have 2 impressions
+	if c.Covered() != 2 {
+		t.Errorf("covered = %d, want 2", c.Covered())
+	}
+	c.Add(2) // t=2 has 3 impressions, others at 1
+	if c.Covered() != 2 {
+		t.Errorf("covered = %d, want 2 (t2 already counted)", c.Covered())
+	}
+	c.Remove(1)
+	if c.Covered() != 1 { // only t=2 still has 2 impressions (b0 and b2)
+		t.Errorf("after remove covered = %d, want 1", c.Covered())
+	}
+	if got := c.Members(nil); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("Members = %v", got)
+	}
+}
+
+func TestCounterThresholdOneMatchesPlain(t *testing.T) {
+	r := rng.New(77)
+	u := randomUniverse(r, 200, 25, 30)
+	c1 := NewCounter(u)
+	ck := NewCounterWithThreshold(u, 1)
+	for step := 0; step < 300; step++ {
+		b := r.Intn(u.NumBillboards())
+		if c1.Has(b) {
+			c1.Remove(b)
+			ck.Remove(b)
+		} else {
+			if c1.Gain(b) != ck.Gain(b) {
+				t.Fatalf("step %d: Gain differs", step)
+			}
+			c1.Add(b)
+			ck.Add(b)
+		}
+		if c1.Covered() != ck.Covered() {
+			t.Fatalf("step %d: covered %d vs %d", step, c1.Covered(), ck.Covered())
+		}
+	}
+}
+
+func TestThresholdCounterMatchesUnionCountK(t *testing.T) {
+	r := rng.New(88)
+	for _, k := range []int{1, 2, 3} {
+		u := randomUniverse(r, 150, 20, 40)
+		c := NewCounterWithThreshold(u, k)
+		var members []int
+		for step := 0; step < 150; step++ {
+			b := r.Intn(u.NumBillboards())
+			if c.Has(b) {
+				wantLoss := c.Covered() - u.UnionCountK(remove(members, b), k)
+				if got := c.Loss(b); got != wantLoss {
+					t.Fatalf("k=%d step %d: Loss(%d) = %d, want %d", k, step, b, got, wantLoss)
+				}
+				c.Remove(b)
+				members = remove(members, b)
+			} else {
+				withB := append(append([]int{}, members...), b)
+				wantGain := u.UnionCountK(withB, k) - c.Covered()
+				if got := c.Gain(b); got != wantGain {
+					t.Fatalf("k=%d step %d: Gain(%d) = %d, want %d", k, step, b, got, wantGain)
+				}
+				c.Add(b)
+				members = withB
+			}
+			if got, want := c.Covered(), u.UnionCountK(members, k); got != want {
+				t.Fatalf("k=%d step %d: covered %d, want %d", k, step, got, want)
+			}
+		}
+	}
+}
+
+func TestThresholdSwapDeltaMatchesRecompute(t *testing.T) {
+	r := rng.New(99)
+	for _, k := range []int{1, 2, 3} {
+		u := randomUniverse(r, 120, 16, 30)
+		c := NewCounterWithThreshold(u, k)
+		var members []int
+		for b := 0; b < u.NumBillboards(); b += 2 {
+			c.Add(b)
+			members = append(members, b)
+		}
+		for _, out := range members {
+			for in := 1; in < u.NumBillboards(); in += 2 {
+				swapped := append(remove(members, out), in)
+				want := u.UnionCountK(swapped, k) - c.Covered()
+				if got := c.SwapDelta(out, in); got != want {
+					t.Fatalf("k=%d: SwapDelta(%d, %d) = %d, want %d", k, out, in, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestThresholdCounterPanics(t *testing.T) {
+	u := MustUniverse(3, []List{{0}, {1}})
+	for name, f := range map[string]func(){
+		"k=0":      func() { NewCounterWithThreshold(u, 0) },
+		"UnionK k": func() { u.UnionCountK(nil, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+	c := NewCounterWithThreshold(u, 2)
+	c.Add(0)
+	for name, f := range map[string]func(){
+		"double add":   func() { c.Add(0) },
+		"bad remove":   func() { c.Remove(1) },
+		"gain member":  func() { c.Gain(0) },
+		"loss missing": func() { c.Loss(1) },
+		"swap bad out": func() { c.SwapDelta(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// remove returns members without b (order preserved).
+func remove(members []int, b int) []int {
+	out := make([]int, 0, len(members))
+	for _, m := range members {
+		if m != b {
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/billboard"
+	"repro/internal/trajectory"
+)
+
+// On-disk layout of a saved dataset directory:
+//
+//	config.json       the generator Config
+//	trajectories.csv  point-per-row trajectory table
+//	billboards.csv    billboard table
+//
+// Save/Load let the CLI generate once and reuse across experiment runs.
+
+const (
+	configFile = "config.json"
+	trajFile   = "trajectories.csv"
+	bbFile     = "billboards.csv"
+)
+
+// Save writes the dataset into dir, creating it if needed.
+func (d *Dataset) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	cfg, err := json.MarshalIndent(d.Config, "", "  ")
+	if err != nil {
+		return fmt.Errorf("dataset: marshal config: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, configFile), cfg, 0o644); err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	tf, err := os.Create(filepath.Join(dir, trajFile))
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	defer tf.Close()
+	if err := trajectory.WriteCSV(tf, d.Trajectories); err != nil {
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	bf, err := os.Create(filepath.Join(dir, bbFile))
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	defer bf.Close()
+	if err := billboard.WriteCSV(bf, d.Billboards); err != nil {
+		return err
+	}
+	return bf.Close()
+}
+
+// Load reads a dataset previously written by Save.
+func Load(dir string) (*Dataset, error) {
+	cfgBytes, err := os.ReadFile(filepath.Join(dir, configFile))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	var cfg Config
+	if err := json.Unmarshal(cfgBytes, &cfg); err != nil {
+		return nil, fmt.Errorf("dataset: parse config: %w", err)
+	}
+	tf, err := os.Open(filepath.Join(dir, trajFile))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer tf.Close()
+	tdb, err := trajectory.ReadCSV(tf)
+	if err != nil {
+		return nil, err
+	}
+	bf, err := os.Open(filepath.Join(dir, bbFile))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer bf.Close()
+	bdb, err := billboard.ReadCSV(bf)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{Config: cfg, Trajectories: tdb, Billboards: bdb}, nil
+}

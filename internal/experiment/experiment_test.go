@@ -1,0 +1,279 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// testRunner returns a harness at a small scale with one restart, enough to
+// check figure shapes while keeping the package tests fast.
+func testRunner() *Runner {
+	return NewRunner(Config{Scale: 0.15, Seed: 11, Restarts: 1})
+}
+
+func TestRunCollectsMetrics(t *testing.T) {
+	r := testRunner()
+	inst, err := r.instance(dataset.NYC, 0.8, 0.10, 0.5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Run(inst, core.GGlobalAlgorithm{})
+	if m.Algorithm != "G-Global" {
+		t.Errorf("Algorithm = %q", m.Algorithm)
+	}
+	if math.Abs(m.Excess+m.Unsatisfied-m.TotalRegret) > 1e-6 {
+		t.Errorf("breakdown %v + %v != total %v", m.Excess, m.Unsatisfied, m.TotalRegret)
+	}
+	if m.NumAdvertisers != inst.NumAdvertisers() {
+		t.Errorf("NumAdvertisers = %d", m.NumAdvertisers)
+	}
+	if m.Runtime <= 0 {
+		t.Error("runtime not measured")
+	}
+	if m.Evals <= 0 {
+		t.Error("evals not counted")
+	}
+	if m.TotalRegret > 0 {
+		if math.Abs(m.ExcessPct()+m.UnsatisfiedPct()-100) > 1e-6 {
+			t.Errorf("percentages should sum to 100: %v + %v", m.ExcessPct(), m.UnsatisfiedPct())
+		}
+	}
+}
+
+func TestMetricsPctZeroTotal(t *testing.T) {
+	m := Metrics{}
+	if m.ExcessPct() != 0 || m.UnsatisfiedPct() != 0 {
+		t.Error("zero-total percentages should be 0")
+	}
+}
+
+func TestRunnerCachesDatasetsAndUniverses(t *testing.T) {
+	r := testRunner()
+	d1, err := r.Dataset(dataset.NYC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := r.Dataset(dataset.NYC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Error("dataset not cached")
+	}
+	u1, err := r.Universe(dataset.NYC, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := r.Universe(dataset.NYC, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u1 != u2 {
+		t.Error("universe not cached")
+	}
+	u3, err := r.Universe(dataset.NYC, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u3 == u1 {
+		t.Error("different λ should build a different universe")
+	}
+}
+
+func TestRunnerUnknownCity(t *testing.T) {
+	r := testRunner()
+	if _, err := r.Dataset(dataset.City(9)); err == nil {
+		t.Fatal("unknown city accepted")
+	}
+}
+
+func TestTable5(t *testing.T) {
+	rows, err := testRunner().Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Name != "NYC" || rows[1].Name != "SG" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for _, row := range rows {
+		if row.NumTraj <= 0 || row.NumBillboards <= 0 || row.AvgDistanceKM <= 0 {
+			t.Errorf("degenerate row %+v", row)
+		}
+	}
+}
+
+func TestFigure1Series(t *testing.T) {
+	series, err := testRunner().Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("%d series, want 2", len(series))
+	}
+	for _, s := range series {
+		if len(s.InfluenceCurve) != len(s.SampleFractions) ||
+			len(s.ImpressionCurve) != len(s.SampleFractions) {
+			t.Fatalf("%s: curve lengths mismatch", s.City)
+		}
+		for i := 1; i < len(s.ImpressionCurve); i++ {
+			if s.ImpressionCurve[i] < s.ImpressionCurve[i-1]-1e-9 {
+				t.Fatalf("%s: impression curve not monotone", s.City)
+			}
+			if s.InfluenceCurve[i] > s.InfluenceCurve[i-1]+1e-9 {
+				t.Fatalf("%s: influence curve not descending", s.City)
+			}
+		}
+	}
+}
+
+// TestFigureShapeRegretVsAlpha checks the core effectiveness claims on one
+// α sweep: local search beats the plain greedy everywhere, the unsatisfied
+// penalty emerges as α passes 100%, and all breakdowns are consistent.
+func TestFigureShapeRegretVsAlpha(t *testing.T) {
+	r := testRunner()
+	fig, err := r.RegretVsAlpha(dataset.NYC, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Points) != 5 {
+		t.Fatalf("%d points, want 5 α values", len(fig.Points))
+	}
+	byName := func(pt Point, name string) Metrics {
+		for _, m := range pt.Metrics {
+			if m.Algorithm == name {
+				return m
+			}
+		}
+		t.Fatalf("missing %s", name)
+		return Metrics{}
+	}
+	for _, pt := range fig.Points {
+		if len(pt.Metrics) != 4 {
+			t.Fatalf("point %s has %d metrics", pt.Label, len(pt.Metrics))
+		}
+		gg := byName(pt, "G-Global")
+		als := byName(pt, "ALS")
+		bls := byName(pt, "BLS")
+		// The local searches start from G-Global's plan and only accept
+		// improvements, so they can never be worse.
+		if als.TotalRegret > gg.TotalRegret+1e-6 {
+			t.Errorf("%s: ALS %.1f worse than G-Global %.1f", pt.Label, als.TotalRegret, gg.TotalRegret)
+		}
+		if bls.TotalRegret > gg.TotalRegret+1e-6 {
+			t.Errorf("%s: BLS %.1f worse than G-Global %.1f", pt.Label, bls.TotalRegret, gg.TotalRegret)
+		}
+	}
+	// Unsatisfied penalty share grows from the low-α to the high-α regime
+	// (paper Cases 1/2 vs 3/4) for the best method.
+	lo := byName(fig.Points[0], "BLS") // α=40%
+	hi := byName(fig.Points[4], "BLS") // α=120%
+	if hi.Unsatisfied <= lo.Unsatisfied {
+		t.Errorf("unsatisfied penalty should grow with α: %.1f → %.1f", lo.Unsatisfied, hi.Unsatisfied)
+	}
+	if hi.SatisfiedCount >= hi.NumAdvertisers {
+		t.Errorf("α=120%% should leave advertisers unsatisfied (%d/%d)", hi.SatisfiedCount, hi.NumAdvertisers)
+	}
+}
+
+func TestFigureDispatch(t *testing.T) {
+	// Dispatch mapping only — a tiny scale keeps the SG sweep cheap.
+	r := NewRunner(Config{Scale: 0.02, Seed: 11, Restarts: 1})
+	// Single-part figure numbers → 1 figure; two-city ones → 2.
+	oneCity, err := r.Figure(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oneCity) != 1 || oneCity[0].ID != "fig7" {
+		t.Fatalf("Figure(7) = %d figures, id %s", len(oneCity), oneCity[0].ID)
+	}
+	if _, err := r.Figure(1); err == nil {
+		t.Error("Figure(1) should direct users to Figure1()")
+	}
+	if _, err := r.Figure(13); err == nil {
+		t.Error("Figure(13) accepted")
+	}
+}
+
+func TestRuntimeFigureOrdering(t *testing.T) {
+	r := testRunner()
+	fig, err := r.RuntimeVsAlpha(dataset.NYC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy methods must be cheaper than the local searches in the work
+	// measure (evals), which is deterministic unlike wall-clock time.
+	for _, pt := range fig.Points {
+		var gOrder, gGlobal, als, bls int64
+		for _, m := range pt.Metrics {
+			switch m.Algorithm {
+			case "G-Order":
+				gOrder = m.Evals
+			case "G-Global":
+				gGlobal = m.Evals
+			case "ALS":
+				als = m.Evals
+			case "BLS":
+				bls = m.Evals
+			}
+		}
+		if gOrder == 0 || gGlobal == 0 || als == 0 || bls == 0 {
+			t.Fatalf("%s: missing metrics", pt.Label)
+		}
+		if als < gGlobal || bls < gGlobal {
+			t.Errorf("%s: local search cheaper than its own greedy init (gg=%d als=%d bls=%d)",
+				pt.Label, gGlobal, als, bls)
+		}
+	}
+}
+
+func TestDeterministicAcrossRunners(t *testing.T) {
+	a, err := NewRunner(Config{Scale: 0.05, Seed: 3, Restarts: 1}).RegretVsAlpha(dataset.NYC, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRunner(Config{Scale: 0.05, Seed: 3, Restarts: 1}).RegretVsAlpha(dataset.NYC, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Points {
+		for j := range a.Points[i].Metrics {
+			ma, mb := a.Points[i].Metrics[j], b.Points[i].Metrics[j]
+			if ma.TotalRegret != mb.TotalRegret || ma.Evals != mb.Evals {
+				t.Fatalf("point %d alg %d: %v/%v vs %v/%v",
+					i, j, ma.TotalRegret, ma.Evals, mb.TotalRegret, mb.Evals)
+			}
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	r := NewRunner(Config{})
+	if r.Config().Scale != 1.0 || r.Config().Restarts != core.DefaultRestarts {
+		t.Errorf("defaults = %+v", r.Config())
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	seq, err := NewRunner(Config{Scale: 0.05, Seed: 3, Restarts: 1}).RegretVsAlpha(dataset.NYC, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewRunner(Config{Scale: 0.05, Seed: 3, Restarts: 1, Parallel: 4}).RegretVsAlpha(dataset.NYC, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.Points {
+		if seq.Points[i].Label != par.Points[i].Label {
+			t.Fatalf("point %d label order changed under parallelism", i)
+		}
+		for j := range seq.Points[i].Metrics {
+			a, b := seq.Points[i].Metrics[j], par.Points[i].Metrics[j]
+			if a.TotalRegret != b.TotalRegret || a.SatisfiedCount != b.SatisfiedCount {
+				t.Fatalf("point %d alg %s differs under parallelism", i, a.Algorithm)
+			}
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/influence"
+	"repro/internal/market"
+)
+
+// This file maps each table/figure of the paper's Section 7 to a harness
+// method. The per-experiment index in DESIGN.md mirrors this mapping.
+
+// Table5 computes the dataset statistics row for each city (paper Table 5).
+func (r *Runner) Table5() ([]dataset.Table5Row, error) {
+	var rows []dataset.Table5Row
+	for _, city := range []dataset.City{dataset.NYC, dataset.SG} {
+		d, err := r.Dataset(city)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, d.Table5())
+	}
+	return rows, nil
+}
+
+// DistributionSeries holds the two curves of Figure 1 for one city.
+type DistributionSeries struct {
+	City dataset.City
+	// InfluenceCurve is Figure 1a: normalized influence by descending
+	// rank, sampled at SampleFractions of the billboard count.
+	InfluenceCurve []float64
+	// ImpressionCurve is Figure 1b: covered trajectory fraction when the
+	// top fraction of billboards is selected, at SampleFractions.
+	ImpressionCurve []float64
+	// SampleFractions are the x positions of both curves.
+	SampleFractions []float64
+}
+
+// Figure1 computes the influence and impression distribution curves of
+// Figure 1 for both cities at the default λ.
+func (r *Runner) Figure1() ([]DistributionSeries, error) {
+	fractions := []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	var out []DistributionSeries
+	for _, city := range []dataset.City{dataset.NYC, dataset.SG} {
+		u, err := r.Universe(city, market.DefaultLambda)
+		if err != nil {
+			return nil, err
+		}
+		full := influence.NormalizedInfluenceCurve(u)
+		ic := make([]float64, len(fractions))
+		for i, f := range fractions {
+			idx := int(f*float64(len(full))) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(full) {
+				idx = len(full) - 1
+			}
+			ic[i] = full[idx]
+		}
+		out = append(out, DistributionSeries{
+			City:            city,
+			InfluenceCurve:  ic,
+			ImpressionCurve: influence.ImpressionCurve(u, fractions),
+			SampleFractions: fractions,
+		})
+	}
+	return out, nil
+}
+
+// RegretVsAlpha produces the regret-vs-α figure for a fixed p (Figures 2-6
+// on NYC; the same sweep is available for SG). γ and λ stay at defaults.
+func (r *Runner) RegretVsAlpha(city dataset.City, p float64) (Figure, error) {
+	fig := Figure{
+		Title: fmt.Sprintf("Regret vs demand-supply ratio α (%s, p=%g%%, γ=%g, λ=%gm)",
+			city, p*100, market.DefaultGamma, float64(market.DefaultLambda)),
+	}
+	labels, insts, err := r.sweep(func(add func(string, float64, float64, float64, float64)) {
+		for _, alpha := range market.Alphas {
+			add(fmt.Sprintf("α=%.0f%%", alpha*100), alpha, p, market.DefaultGamma, market.DefaultLambda)
+		}
+	}, city)
+	if err != nil {
+		return Figure{}, err
+	}
+	fig.Points = r.runPoints(labels, insts, false)
+	return fig, nil
+}
+
+// sweep builds the labeled instances of one parameter sweep.
+func (r *Runner) sweep(build func(add func(label string, alpha, p, gamma, lambda float64)), city dataset.City) ([]string, []*core.Instance, error) {
+	var labels []string
+	var insts []*core.Instance
+	var firstErr error
+	build(func(label string, alpha, p, gamma, lambda float64) {
+		if firstErr != nil {
+			return
+		}
+		inst, err := r.instance(city, alpha, p, gamma, lambda)
+		if err != nil {
+			firstErr = err
+			return
+		}
+		labels = append(labels, label)
+		insts = append(insts, inst)
+	})
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	return labels, insts, nil
+}
+
+// RegretVsGamma produces the regret-vs-γ figure (Figure 10 NYC, Figure 11
+// SG) at default α, p and λ.
+func (r *Runner) RegretVsGamma(city dataset.City) (Figure, error) {
+	fig := Figure{
+		Title: fmt.Sprintf("Regret vs unsatisfied penalty ratio γ (%s, α=%g%%, p=%g%%, λ=%gm)",
+			city, market.DefaultAlpha*100, market.DefaultP*100, float64(market.DefaultLambda)),
+	}
+	labels, insts, err := r.sweep(func(add func(string, float64, float64, float64, float64)) {
+		for _, gamma := range market.Gammas {
+			add(fmt.Sprintf("γ=%.2f", gamma), market.DefaultAlpha, market.DefaultP, gamma, market.DefaultLambda)
+		}
+	}, city)
+	if err != nil {
+		return Figure{}, err
+	}
+	fig.Points = r.runPoints(labels, insts, false)
+	return fig, nil
+}
+
+// RegretVsLambda produces the regret-vs-λ figure for one city (Figure 12
+// parts a and b) at default α, p, γ.
+func (r *Runner) RegretVsLambda(city dataset.City) (Figure, error) {
+	fig := Figure{
+		Title: fmt.Sprintf("Regret vs influence range λ (%s, α=%g%%, p=%g%%, γ=%g)",
+			city, market.DefaultAlpha*100, market.DefaultP*100, market.DefaultGamma),
+	}
+	labels, insts, err := r.sweep(func(add func(string, float64, float64, float64, float64)) {
+		for _, lambda := range market.Lambdas {
+			add(fmt.Sprintf("λ=%.0fm", lambda), market.DefaultAlpha, market.DefaultP, market.DefaultGamma, lambda)
+		}
+	}, city)
+	if err != nil {
+		return Figure{}, err
+	}
+	fig.Points = r.runPoints(labels, insts, false)
+	return fig, nil
+}
+
+// RuntimeVsAlpha produces the efficiency figure varying α (Figure 8) for
+// one city at default p; the metrics of interest are Runtime and Evals.
+func (r *Runner) RuntimeVsAlpha(city dataset.City) (Figure, error) {
+	fig := Figure{
+		Title: fmt.Sprintf("Running time vs α (%s, p=%g%%)", city, market.DefaultP*100),
+	}
+	labels, insts, err := r.sweep(func(add func(string, float64, float64, float64, float64)) {
+		for _, alpha := range market.Alphas {
+			add(fmt.Sprintf("α=%.0f%%", alpha*100), alpha, market.DefaultP, market.DefaultGamma, market.DefaultLambda)
+		}
+	}, city)
+	if err != nil {
+		return Figure{}, err
+	}
+	// Efficiency figures report wall-clock: always sequential.
+	fig.Points = r.runPoints(labels, insts, true)
+	return fig, nil
+}
+
+// RuntimeVsP produces the efficiency figure varying p (Figure 9) for one
+// city at default α.
+func (r *Runner) RuntimeVsP(city dataset.City) (Figure, error) {
+	fig := Figure{
+		Title: fmt.Sprintf("Running time vs p (%s, α=%g%%)", city, market.DefaultAlpha*100),
+	}
+	labels, insts, err := r.sweep(func(add func(string, float64, float64, float64, float64)) {
+		for _, p := range market.Ps {
+			add(fmt.Sprintf("p=%.0f%%", p*100), market.DefaultAlpha, p, market.DefaultGamma, market.DefaultLambda)
+		}
+	}, city)
+	if err != nil {
+		return Figure{}, err
+	}
+	// Efficiency figures report wall-clock: always sequential.
+	fig.Points = r.runPoints(labels, insts, true)
+	return fig, nil
+}
+
+// Figure dispatches a figure by its number in the paper. Figures that have
+// NYC and SG parts return one Figure per part.
+//
+//	1        → distribution curves (use Figure1 directly for the series)
+//	2..6     → regret vs α on NYC at p = 1%, 2%, 5%, 10%, 20%
+//	7        → regret vs α on SG at the default p
+//	8        → runtime vs α (NYC, SG)
+//	9        → runtime vs p (NYC, SG)
+//	10, 11   → regret vs γ on NYC, SG
+//	12       → regret vs λ (NYC, SG)
+func (r *Runner) Figure(num int) ([]Figure, error) {
+	withID := func(f Figure, err error) ([]Figure, error) {
+		if err != nil {
+			return nil, err
+		}
+		f.ID = fmt.Sprintf("fig%d", num)
+		return []Figure{f}, nil
+	}
+	switch num {
+	case 2:
+		return withID(r.RegretVsAlpha(dataset.NYC, 0.01))
+	case 3:
+		return withID(r.RegretVsAlpha(dataset.NYC, 0.02))
+	case 4:
+		return withID(r.RegretVsAlpha(dataset.NYC, 0.05))
+	case 5:
+		return withID(r.RegretVsAlpha(dataset.NYC, 0.10))
+	case 6:
+		return withID(r.RegretVsAlpha(dataset.NYC, 0.20))
+	case 7:
+		return withID(r.RegretVsAlpha(dataset.SG, market.DefaultP))
+	case 8:
+		return r.twoCity(num, r.RuntimeVsAlpha)
+	case 9:
+		return r.twoCity(num, r.RuntimeVsP)
+	case 10:
+		return withID(r.RegretVsGamma(dataset.NYC))
+	case 11:
+		return withID(r.RegretVsGamma(dataset.SG))
+	case 12:
+		return r.twoCity(num, r.RegretVsLambda)
+	default:
+		return nil, fmt.Errorf("experiment: no figure %d (supported: 2-12)", num)
+	}
+}
+
+// twoCity runs a per-city figure builder for both cities.
+func (r *Runner) twoCity(num int, build func(dataset.City) (Figure, error)) ([]Figure, error) {
+	var out []Figure
+	for _, city := range []dataset.City{dataset.NYC, dataset.SG} {
+		f, err := build(city)
+		if err != nil {
+			return nil, err
+		}
+		f.ID = fmt.Sprintf("fig%d-%s", num, city)
+		out = append(out, f)
+	}
+	return out, nil
+}

@@ -1,0 +1,126 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+func TestApproximationGap(t *testing.T) {
+	rows, err := ApproximationGap(GapConfig{Instances: 8, Billboards: 7, Advertisers: 2, Seed: 5, Restarts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(rows))
+	}
+	byName := map[string]GapRow{}
+	for _, row := range rows {
+		byName[row.Algorithm] = row
+		if row.MeanRatio < 1-1e-9 {
+			t.Errorf("%s mean ratio %v < 1 — heuristic beat the optimum", row.Algorithm, row.MeanRatio)
+		}
+		if row.WorstRatio < row.MeanRatio-1e-9 {
+			t.Errorf("%s worst ratio %v below mean %v", row.Algorithm, row.WorstRatio, row.MeanRatio)
+		}
+		if row.OptimalHits < 0 || row.OptimalHits > row.Instances {
+			t.Errorf("%s optimal hits %d out of range", row.Algorithm, row.OptimalHits)
+		}
+	}
+	// The local searches should be at least as close to optimal as the
+	// plain synchronous greedy on average.
+	if byName["BLS"].MeanRatio > byName["G-Global"].MeanRatio+1e-9 {
+		t.Errorf("BLS mean ratio %v worse than G-Global %v",
+			byName["BLS"].MeanRatio, byName["G-Global"].MeanRatio)
+	}
+}
+
+func TestApproximationGapDefaultsAndBounds(t *testing.T) {
+	cfg := GapConfig{}.withDefaults()
+	if cfg.Instances != 20 || cfg.Billboards != 8 || cfg.Advertisers != 2 || cfg.Restarts != 3 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	if _, err := ApproximationGap(GapConfig{Billboards: core.ExactMaxBillboards + 1, Instances: 1}); err == nil {
+		t.Error("oversized billboards accepted")
+	}
+}
+
+func TestApproximationGapDeterministic(t *testing.T) {
+	cfg := GapConfig{Instances: 4, Billboards: 6, Seed: 9, Restarts: 1}
+	a, err := ApproximationGap(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ApproximationGap(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs across runs", i)
+		}
+	}
+}
+
+func TestRunRepeated(t *testing.T) {
+	r := testRunner()
+	inst, err := r.instance(dataset.NYC, 0.8, 0.10, 0.5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := RunRepeated(inst, "G-Global", 7, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Runs != 3 || m.Regret.N != 3 {
+		t.Fatalf("runs = %d / %d", m.Runs, m.Regret.N)
+	}
+	// Deterministic method: zero regret spread.
+	if m.Regret.Std != 0 {
+		t.Errorf("G-Global regret varies across seeds: std %v", m.Regret.Std)
+	}
+	if m.Seconds.Mean <= 0 {
+		t.Error("no timing recorded")
+	}
+	if _, err := RunRepeated(inst, "Nope", 7, 1, 2); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	// runs < 1 → default 5.
+	m5, err := RunRepeated(inst, "G-Order", 7, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m5.Runs != 5 {
+		t.Errorf("default runs = %d, want 5", m5.Runs)
+	}
+}
+
+func TestRunAllRepeated(t *testing.T) {
+	r := testRunner()
+	inst, err := r.instance(dataset.NYC, 0.8, 0.10, 0.5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := RunAllRepeated(inst, 7, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 4 {
+		t.Fatalf("%d summaries", len(ms))
+	}
+	// The randomized searches may vary across seeds but must never be
+	// worse than their greedy initialization on average.
+	var gg, bls float64
+	for _, m := range ms {
+		switch m.Algorithm {
+		case "G-Global":
+			gg = m.Regret.Mean
+		case "BLS":
+			bls = m.Regret.Mean
+		}
+	}
+	if bls > gg+1e-6 {
+		t.Errorf("BLS mean regret %v worse than G-Global %v", bls, gg)
+	}
+}

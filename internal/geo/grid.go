@@ -1,0 +1,159 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Grid is a uniform grid spatial index over a fixed set of points. It answers
+// radius queries ("which points lie within λ meters of q?") by scanning only
+// the cells overlapping the query disk.
+//
+// The influence model uses one Grid over all trajectory points of a dataset;
+// with cell size close to the query radius a query touches at most 9 cells.
+// Build cost is O(n), memory is O(n + cells).
+type Grid struct {
+	bounds   Rect
+	cellSize float64
+	cols     int
+	rows     int
+	// cellStart[c] .. cellStart[c+1] delimit the ids of the points in cell c
+	// inside the flat ids slice (counting-sort layout; no per-cell slices).
+	cellStart []int32
+	ids       []int32
+	points    []Point
+}
+
+// NewGrid indexes the given points with the given cell size (meters). The
+// point slice is retained (not copied); callers must not mutate it afterwards.
+// NewGrid panics if cellSize <= 0.
+func NewGrid(points []Point, cellSize float64) *Grid {
+	if cellSize <= 0 {
+		panic(fmt.Sprintf("geo: NewGrid cell size %v <= 0", cellSize))
+	}
+	g := &Grid{cellSize: cellSize, points: points}
+	g.bounds = BoundingRect(points)
+	if len(points) == 0 {
+		g.cols, g.rows = 1, 1
+		g.cellStart = make([]int32, 2)
+		return g
+	}
+	g.cols = int(math.Floor(g.bounds.Width()/cellSize)) + 1
+	g.rows = int(math.Floor(g.bounds.Height()/cellSize)) + 1
+	nCells := g.cols * g.rows
+
+	counts := make([]int32, nCells+1)
+	for _, p := range points {
+		counts[g.cellOf(p)+1]++
+	}
+	for c := 0; c < nCells; c++ {
+		counts[c+1] += counts[c]
+	}
+	g.cellStart = counts
+	g.ids = make([]int32, len(points))
+	cursor := make([]int32, nCells)
+	for i, p := range points {
+		c := g.cellOf(p)
+		g.ids[g.cellStart[c]+cursor[c]] = int32(i)
+		cursor[c]++
+	}
+	return g
+}
+
+// cellOf returns the flat cell index containing p. Points on the far
+// boundary land in the last row/column by construction of cols/rows.
+func (g *Grid) cellOf(p Point) int {
+	cx := int((p.X - g.bounds.Min.X) / g.cellSize)
+	cy := int((p.Y - g.bounds.Min.Y) / g.cellSize)
+	if cx < 0 {
+		cx = 0
+	} else if cx >= g.cols {
+		cx = g.cols - 1
+	}
+	if cy < 0 {
+		cy = 0
+	} else if cy >= g.rows {
+		cy = g.rows - 1
+	}
+	return cy*g.cols + cx
+}
+
+// Len returns the number of indexed points.
+func (g *Grid) Len() int { return len(g.points) }
+
+// CellSize returns the configured cell size in meters.
+func (g *Grid) CellSize() float64 { return g.cellSize }
+
+// Within appends to dst the indices of all points within radius r of q and
+// returns the extended slice. Indices refer to the slice passed to NewGrid.
+// The order of results is unspecified. Pass dst = nil to allocate.
+func (g *Grid) Within(q Point, r float64, dst []int32) []int32 {
+	if len(g.points) == 0 || r < 0 {
+		return dst
+	}
+	r2 := r * r
+	minCX := int(math.Floor((q.X - r - g.bounds.Min.X) / g.cellSize))
+	maxCX := int(math.Floor((q.X + r - g.bounds.Min.X) / g.cellSize))
+	minCY := int(math.Floor((q.Y - r - g.bounds.Min.Y) / g.cellSize))
+	maxCY := int(math.Floor((q.Y + r - g.bounds.Min.Y) / g.cellSize))
+	if minCX < 0 {
+		minCX = 0
+	}
+	if minCY < 0 {
+		minCY = 0
+	}
+	if maxCX >= g.cols {
+		maxCX = g.cols - 1
+	}
+	if maxCY >= g.rows {
+		maxCY = g.rows - 1
+	}
+	for cy := minCY; cy <= maxCY; cy++ {
+		for cx := minCX; cx <= maxCX; cx++ {
+			c := cy*g.cols + cx
+			for _, id := range g.ids[g.cellStart[c]:g.cellStart[c+1]] {
+				if g.points[id].Dist2(q) <= r2 {
+					dst = append(dst, id)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// AnyWithin reports whether any indexed point lies within radius r of q.
+// It short-circuits on the first hit, making it cheaper than Within when
+// only existence matters.
+func (g *Grid) AnyWithin(q Point, r float64) bool {
+	if len(g.points) == 0 || r < 0 {
+		return false
+	}
+	r2 := r * r
+	minCX := int(math.Floor((q.X - r - g.bounds.Min.X) / g.cellSize))
+	maxCX := int(math.Floor((q.X + r - g.bounds.Min.X) / g.cellSize))
+	minCY := int(math.Floor((q.Y - r - g.bounds.Min.Y) / g.cellSize))
+	maxCY := int(math.Floor((q.Y + r - g.bounds.Min.Y) / g.cellSize))
+	if minCX < 0 {
+		minCX = 0
+	}
+	if minCY < 0 {
+		minCY = 0
+	}
+	if maxCX >= g.cols {
+		maxCX = g.cols - 1
+	}
+	if maxCY >= g.rows {
+		maxCY = g.rows - 1
+	}
+	for cy := minCY; cy <= maxCY; cy++ {
+		for cx := minCX; cx <= maxCX; cx++ {
+			c := cy*g.cols + cx
+			for _, id := range g.ids[g.cellStart[c]:g.cellStart[c+1]] {
+				if g.points[id].Dist2(q) <= r2 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,128 @@
+package geo
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func randomPoints(seed uint64, n int, w, h float64) []Point {
+	r := rng.New(seed)
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{r.Range(0, w), r.Range(0, h)}
+	}
+	return pts
+}
+
+func TestRTreeEmpty(t *testing.T) {
+	tr := NewRTree(nil)
+	if tr.Len() != 0 || tr.Depth() != 0 {
+		t.Fatal("empty tree dims wrong")
+	}
+	if got := tr.Within(Point{0, 0}, 10, nil); len(got) != 0 {
+		t.Fatal("empty tree returned results")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRTreeSinglePoint(t *testing.T) {
+	tr := NewRTree([]Point{{5, 5}})
+	if tr.Depth() != 1 {
+		t.Fatalf("Depth = %d, want 1", tr.Depth())
+	}
+	if got := tr.Within(Point{5, 5}, 0, nil); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Within = %v", got)
+	}
+	if got := tr.Within(Point{6, 5}, 0.5, nil); len(got) != 0 {
+		t.Fatalf("far query = %v", got)
+	}
+}
+
+func TestRTreeValidate(t *testing.T) {
+	for _, n := range []int{1, 15, 16, 17, 100, 1000, 5000} {
+		tr := NewRTree(randomPoints(uint64(n), n, 10000, 8000))
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, tr.Len())
+		}
+	}
+}
+
+func TestRTreeDepthLogarithmic(t *testing.T) {
+	tr := NewRTree(randomPoints(9, 10000, 10000, 10000))
+	// fan-out 16: 10000 points → ⌈log16(625)⌉+1 ≈ 4 levels.
+	if d := tr.Depth(); d < 2 || d > 5 {
+		t.Fatalf("Depth = %d, want 2..5 for 10k points", d)
+	}
+}
+
+func TestRTreeMatchesBruteForceAndGrid(t *testing.T) {
+	points := randomPoints(42, 3000, 5000, 3000)
+	tr := NewRTree(points)
+	g := NewGrid(points, 150)
+	r := rng.New(7)
+	for trial := 0; trial < 60; trial++ {
+		q := Point{r.Range(-300, 5300), r.Range(-300, 3300)}
+		radius := r.Range(0, 500)
+		want := bruteWithin(points, q, radius)
+		gotTree := tr.Within(q, radius, nil)
+		if len(gotTree) != len(want) {
+			t.Fatalf("trial %d: rtree %d hits, brute %d", trial, len(gotTree), len(want))
+		}
+		for _, id := range gotTree {
+			if !want[id] {
+				t.Fatalf("trial %d: rtree returned wrong id %d", trial, id)
+			}
+		}
+		gotGrid := g.Within(q, radius, nil)
+		if len(gotGrid) != len(gotTree) {
+			t.Fatalf("trial %d: grid %d hits, rtree %d", trial, len(gotGrid), len(gotTree))
+		}
+	}
+}
+
+func TestRTreeNegativeRadius(t *testing.T) {
+	tr := NewRTree([]Point{{0, 0}})
+	if got := tr.Within(Point{0, 0}, -1, nil); len(got) != 0 {
+		t.Fatal("negative radius returned results")
+	}
+}
+
+func TestRTreeCoincidentPoints(t *testing.T) {
+	pts := make([]Point, 100)
+	for i := range pts {
+		pts[i] = Point{1, 1}
+	}
+	tr := NewRTree(pts)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Within(Point{1, 1}, 0, nil); len(got) != 100 {
+		t.Fatalf("coincident points: %d hits, want 100", len(got))
+	}
+}
+
+func BenchmarkRTreeBuild(b *testing.B) {
+	points := randomPoints(1, 100000, 20000, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NewRTree(points)
+	}
+}
+
+func BenchmarkRTreeWithin(b *testing.B) {
+	points := randomPoints(1, 100000, 20000, 20000)
+	tr := NewRTree(points)
+	r := rng.New(2)
+	buf := make([]int32, 0, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := Point{r.Range(0, 20000), r.Range(0, 20000)}
+		buf = tr.Within(q, 100, buf[:0])
+	}
+}

@@ -1,0 +1,279 @@
+// Package hardness implements Section 4 of the paper: the numerical
+// 3-dimensional matching (N3DM) problem and the polynomial reduction from
+// N3DM to MROAM used to prove that MROAM is NP-hard and NP-hard to
+// approximate within any constant factor.
+//
+// The reduction maps an N3DM instance (multisets X, Y, Z of n integers with
+// bound b = (ΣX + ΣY + ΣZ)/n) to an MROAM instance with 3n billboards over
+// disjoint audiences and n identical advertisers, such that the MROAM
+// optimum has zero regret iff the N3DM instance has a perfect matching.
+// Package tests exercise both directions of the equivalence with the exact
+// solver, turning the paper's proof into executable checks.
+package hardness
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/coverage"
+	"repro/internal/rng"
+)
+
+// N3DM is a numerical 3-dimensional matching instance: three multisets of n
+// positive integers and the bound b. A YES instance admits a partition into
+// n triples (x, y, z), one element from each multiset, with x + y + z = b
+// for every triple. A necessary condition is b = (ΣX + ΣY + ΣZ)/n.
+type N3DM struct {
+	X, Y, Z []int
+	B       int
+}
+
+// Validate checks structural well-formedness (equal sizes, positive
+// elements, and the necessary sum condition n·b = ΣX + ΣY + ΣZ).
+func (p N3DM) Validate() error {
+	n := len(p.X)
+	if n == 0 {
+		return fmt.Errorf("hardness: empty instance")
+	}
+	if len(p.Y) != n || len(p.Z) != n {
+		return fmt.Errorf("hardness: sizes |X|=%d |Y|=%d |Z|=%d differ", len(p.X), len(p.Y), len(p.Z))
+	}
+	sum := 0
+	for _, s := range [][]int{p.X, p.Y, p.Z} {
+		for _, v := range s {
+			if v < 1 {
+				return fmt.Errorf("hardness: non-positive element %d", v)
+			}
+			sum += v
+		}
+	}
+	if sum != n*p.B {
+		return fmt.Errorf("hardness: ΣX+ΣY+ΣZ = %d but n·b = %d — no matching can exist", sum, n*p.B)
+	}
+	return nil
+}
+
+// N returns the number of triples n.
+func (p N3DM) N() int { return len(p.X) }
+
+// Triple is one matched triple of element indices (into X, Y, Z).
+type Triple struct{ XI, YI, ZI int }
+
+// VerifyMatching checks that m is a perfect matching for p: every index of
+// each multiset used exactly once and every triple summing to b.
+func (p N3DM) VerifyMatching(m []Triple) error {
+	n := p.N()
+	if len(m) != n {
+		return fmt.Errorf("hardness: %d triples for n = %d", len(m), n)
+	}
+	usedX := make([]bool, n)
+	usedY := make([]bool, n)
+	usedZ := make([]bool, n)
+	for k, tr := range m {
+		if tr.XI < 0 || tr.XI >= n || tr.YI < 0 || tr.YI >= n || tr.ZI < 0 || tr.ZI >= n {
+			return fmt.Errorf("hardness: triple %d has out-of-range index", k)
+		}
+		if usedX[tr.XI] || usedY[tr.YI] || usedZ[tr.ZI] {
+			return fmt.Errorf("hardness: triple %d reuses an element", k)
+		}
+		usedX[tr.XI], usedY[tr.YI], usedZ[tr.ZI] = true, true, true
+		if s := p.X[tr.XI] + p.Y[tr.YI] + p.Z[tr.ZI]; s != p.B {
+			return fmt.Errorf("hardness: triple %d sums to %d, want %d", k, s, p.B)
+		}
+	}
+	return nil
+}
+
+// SolveBruteForce searches for a perfect matching by exhaustive
+// backtracking over Y and Z permutations. It is exponential and intended
+// for the small instances used in tests; ok is false when no matching
+// exists.
+func (p N3DM) SolveBruteForce() (m []Triple, ok bool) {
+	if err := p.Validate(); err != nil {
+		return nil, false
+	}
+	n := p.N()
+	usedY := make([]bool, n)
+	usedZ := make([]bool, n)
+	m = make([]Triple, 0, n)
+	var rec func(xi int) bool
+	rec = func(xi int) bool {
+		if xi == n {
+			return true
+		}
+		for yi := 0; yi < n; yi++ {
+			if usedY[yi] {
+				continue
+			}
+			rest := p.B - p.X[xi] - p.Y[yi]
+			for zi := 0; zi < n; zi++ {
+				if usedZ[zi] || p.Z[zi] != rest {
+					continue
+				}
+				usedY[yi], usedZ[zi] = true, true
+				m = append(m, Triple{XI: xi, YI: yi, ZI: zi})
+				if rec(xi + 1) {
+					return true
+				}
+				m = m[:len(m)-1]
+				usedY[yi], usedZ[zi] = false, false
+			}
+		}
+		return false
+	}
+	if rec(0) {
+		return m, true
+	}
+	return nil, false
+}
+
+// RandomYes generates an N3DM instance that is guaranteed to have a perfect
+// matching: n triples (x, y, z) are drawn with x + y + z = b, then each
+// multiset is shuffled independently. Elements are in [1, maxVal] (maxVal
+// must be at least 3 so a valid triple exists).
+func RandomYes(r *rng.RNG, n, maxVal int) (N3DM, error) {
+	if n < 1 {
+		return N3DM{}, fmt.Errorf("hardness: n %d < 1", n)
+	}
+	if maxVal < 3 {
+		return N3DM{}, fmt.Errorf("hardness: maxVal %d < 3", maxVal)
+	}
+	b := 3 + r.Intn(3*maxVal-2) // b ∈ [3, 3·maxVal]
+	p := N3DM{B: b, X: make([]int, n), Y: make([]int, n), Z: make([]int, n)}
+	for i := 0; i < n; i++ {
+		// Split b into three parts, each in [1, maxVal].
+		for {
+			x := 1 + r.Intn(maxVal)
+			y := 1 + r.Intn(maxVal)
+			z := b - x - y
+			if z >= 1 && z <= maxVal {
+				p.X[i], p.Y[i], p.Z[i] = x, y, z
+				break
+			}
+		}
+	}
+	r.ShuffleInts(p.Y)
+	r.ShuffleInts(p.Z)
+	return p, nil
+}
+
+// ReductionScale returns the c used by Reduce for an instance: the paper
+// takes c → ∞; any c strictly larger than the total numeric mass
+// ΣX + ΣY + ΣZ already makes the base-multiplier accounting exact, because
+// no combination of element perturbations can bridge a gap of c.
+func ReductionScale(p N3DM) int {
+	sum := 0
+	for _, s := range [][]int{p.X, p.Y, p.Z} {
+		for _, v := range s {
+			sum += v
+		}
+	}
+	return sum + 1
+}
+
+// Reduce builds the MROAM instance of the paper's reduction:
+//
+//	3n billboards over pairwise disjoint audiences, with influences
+//	  c + x_i (i ∈ X),  3c + y_j (j ∈ Y),  9c + z_k (k ∈ Z);
+//	n advertisers, each with demand b + 13c, and γ = 0.
+//
+// The returned instance has zero optimal regret iff p has a perfect
+// matching. Each advertiser's payment is 1 so total regret counts
+// unmatched advertisers. The billboard order is X elements first, then Y,
+// then Z, so billboard i maps back to multiset elements directly.
+func Reduce(p N3DM) (*core.Instance, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.N()
+	c := ReductionScale(p)
+	influences := make([]int, 0, 3*n)
+	for _, x := range p.X {
+		influences = append(influences, c+x)
+	}
+	for _, y := range p.Y {
+		influences = append(influences, 3*c+y)
+	}
+	for _, z := range p.Z {
+		influences = append(influences, 9*c+z)
+	}
+
+	lists := make([]coverage.List, len(influences))
+	next := int32(0)
+	for i, infl := range influences {
+		l := make(coverage.List, infl)
+		for j := range l {
+			l[j] = next
+			next++
+		}
+		lists[i] = l
+	}
+	u, err := coverage.NewUniverse(int(next), lists)
+	if err != nil {
+		return nil, err
+	}
+
+	demand := int64(p.B + 13*c)
+	advs := make([]core.Advertiser, n)
+	for i := range advs {
+		advs[i] = core.Advertiser{Demand: demand, Payment: 1}
+	}
+	return core.NewInstance(u, advs, 0)
+}
+
+// ExtractMatching interprets a zero-regret plan for a reduced instance as
+// an N3DM matching: each advertiser's three billboards, mapped back to
+// multiset indices. It returns an error if the plan does not decompose
+// into one-per-multiset triples (which cannot happen for a zero-regret
+// plan, by the paper's argument — making this a checked theorem).
+func ExtractMatching(p N3DM, plan *core.Plan) ([]Triple, error) {
+	n := p.N()
+	m := make([]Triple, 0, n)
+	for i := 0; i < n; i++ {
+		set := plan.Set(i, nil)
+		if len(set) != 3 {
+			return nil, fmt.Errorf("hardness: advertiser %d holds %d billboards, want 3", i, len(set))
+		}
+		tr := Triple{XI: -1, YI: -1, ZI: -1}
+		for _, b := range set {
+			switch {
+			case b < n:
+				if tr.XI != -1 {
+					return nil, fmt.Errorf("hardness: advertiser %d holds two X billboards", i)
+				}
+				tr.XI = b
+			case b < 2*n:
+				if tr.YI != -1 {
+					return nil, fmt.Errorf("hardness: advertiser %d holds two Y billboards", i)
+				}
+				tr.YI = b - n
+			default:
+				if tr.ZI != -1 {
+					return nil, fmt.Errorf("hardness: advertiser %d holds two Z billboards", i)
+				}
+				tr.ZI = b - 2*n
+			}
+		}
+		if tr.XI == -1 || tr.YI == -1 || tr.ZI == -1 {
+			return nil, fmt.Errorf("hardness: advertiser %d missing a multiset", i)
+		}
+		m = append(m, tr)
+	}
+	return m, nil
+}
+
+// PlanFromMatching builds the zero-regret plan corresponding to a perfect
+// matching (the only-if direction of the paper's proof, executable).
+func PlanFromMatching(p N3DM, inst *core.Instance, m []Triple) (*core.Plan, error) {
+	if err := p.VerifyMatching(m); err != nil {
+		return nil, err
+	}
+	n := p.N()
+	plan := core.NewPlan(inst)
+	for i, tr := range m {
+		plan.Assign(tr.XI, i)
+		plan.Assign(n+tr.YI, i)
+		plan.Assign(2*n+tr.ZI, i)
+	}
+	return plan, nil
+}

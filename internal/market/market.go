@@ -1,0 +1,133 @@
+// Package market generates advertiser sets from the paper's experiment
+// knobs (§7.1.3): the demand-supply ratio α and the average-individual
+// demand ratio p, plus the noise factors ω (demand) and ε (payment).
+//
+// Given a coverage universe with supply I* = Σ_o I({o}):
+//
+//	|A| = round(α / p)                    advertisers
+//	I_i = ⌊ω · I* · p⌋,  ω ∈ [0.8, 1.2)   demand of advertiser i
+//	L_i = ⌊ε · I_i⌋,     ε ∈ [0.9, 1.1)   payment of advertiser i
+//
+// so α=100%, p=1% yields 100 small advertisers while α=100%, p=20% yields 5
+// big ones — the macro/micro workload axes of the paper's Q1 and Q2.
+package market
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/coverage"
+	"repro/internal/rng"
+)
+
+// Config describes one advertiser-market workload.
+type Config struct {
+	// Alpha is the demand-supply ratio α = I^A / I*. The paper evaluates
+	// {40%, 60%, 80%, 100%, 120%} with a default of 100%.
+	Alpha float64
+	// P is the average-individual demand ratio p = (I^A/|A|) / I*. The
+	// paper evaluates {1%, 2%, 5%, 10%, 20%} with a default of 5%.
+	P float64
+	// OmegaLo/OmegaHi bound the per-advertiser demand noise ω; zero
+	// values select the paper's [0.8, 1.2).
+	OmegaLo, OmegaHi float64
+	// EpsilonLo/EpsilonHi bound the payment noise ε; zero values select
+	// the paper's [0.9, 1.1).
+	EpsilonLo, EpsilonHi float64
+}
+
+// Paper default parameter grids (Table 6).
+var (
+	// Alphas is the α grid of Table 6 (default 100%).
+	Alphas = []float64{0.40, 0.60, 0.80, 1.00, 1.20}
+	// Ps is the p grid of Table 6 (default 5%).
+	Ps = []float64{0.01, 0.02, 0.05, 0.10, 0.20}
+	// Gammas is the γ grid of Table 6 (default 0.5).
+	Gammas = []float64{0, 0.25, 0.5, 0.75, 1}
+	// Lambdas is the λ grid of Table 6 in meters (default 100).
+	Lambdas = []float64{50, 100, 150, 200}
+)
+
+// Paper default values (bold entries of Table 6).
+const (
+	DefaultAlpha  = 1.00
+	DefaultP      = 0.05
+	DefaultGamma  = 0.5
+	DefaultLambda = 100
+)
+
+func (c Config) withDefaults() Config {
+	if c.OmegaLo == 0 && c.OmegaHi == 0 {
+		c.OmegaLo, c.OmegaHi = 0.8, 1.2
+	}
+	if c.EpsilonLo == 0 && c.EpsilonHi == 0 {
+		c.EpsilonLo, c.EpsilonHi = 0.9, 1.1
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.Alpha <= 0 {
+		return fmt.Errorf("market: alpha %v must be positive", c.Alpha)
+	}
+	if c.P <= 0 || c.P > 1 {
+		return fmt.Errorf("market: p %v must be in (0, 1]", c.P)
+	}
+	if c.OmegaLo <= 0 || c.OmegaHi < c.OmegaLo {
+		return fmt.Errorf("market: omega range [%v, %v) invalid", c.OmegaLo, c.OmegaHi)
+	}
+	if c.EpsilonLo <= 0 || c.EpsilonHi < c.EpsilonLo {
+		return fmt.Errorf("market: epsilon range [%v, %v) invalid", c.EpsilonLo, c.EpsilonHi)
+	}
+	return nil
+}
+
+// NumAdvertisers returns |A| = round(α/p), at least 1.
+func (c Config) NumAdvertisers() int {
+	n := int(math.Round(c.Alpha / c.P))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Generate produces the advertiser set for the universe under this
+// configuration, drawing noise from r. Demands are at least 1 even for
+// tiny universes so the resulting advertisers are always valid for
+// core.NewInstance.
+func Generate(u *coverage.Universe, c Config, r *rng.RNG) ([]core.Advertiser, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	c = c.withDefaults()
+	supply := float64(u.TotalSupply())
+	if supply <= 0 {
+		return nil, fmt.Errorf("market: universe has zero supply")
+	}
+	n := c.NumAdvertisers()
+	advs := make([]core.Advertiser, n)
+	for i := range advs {
+		omega := r.Range(c.OmegaLo, c.OmegaHi)
+		demand := int64(omega * supply * c.P)
+		if demand < 1 {
+			demand = 1
+		}
+		epsilon := r.Range(c.EpsilonLo, c.EpsilonHi)
+		payment := math.Floor(epsilon * float64(demand))
+		advs[i] = core.Advertiser{Demand: demand, Payment: payment}
+	}
+	return advs, nil
+}
+
+// NewInstance generates advertisers and wraps them with the universe and γ
+// into a core.Instance in one step.
+func NewInstance(u *coverage.Universe, c Config, gamma float64, r *rng.RNG) (*core.Instance, error) {
+	advs, err := Generate(u, c, r)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewInstance(u, advs, gamma)
+}

@@ -1,0 +1,164 @@
+package market
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/coverage"
+	"repro/internal/rng"
+)
+
+// uniformUniverse builds nBB billboards each covering deg distinct
+// trajectories with no overlap (supply = nBB·deg).
+func uniformUniverse(nBB, deg int) *coverage.Universe {
+	lists := make([]coverage.List, nBB)
+	next := int32(0)
+	for i := range lists {
+		l := make(coverage.List, deg)
+		for j := range l {
+			l[j] = next
+			next++
+		}
+		lists[i] = l
+	}
+	return coverage.MustUniverse(nBB*deg, lists)
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Alpha: 0, P: 0.05},
+		{Alpha: -1, P: 0.05},
+		{Alpha: 1, P: 0},
+		{Alpha: 1, P: 1.5},
+		{Alpha: 1, P: 0.05, OmegaLo: -1, OmegaHi: 1},
+		{Alpha: 1, P: 0.05, OmegaLo: 1.2, OmegaHi: 0.8},
+		{Alpha: 1, P: 0.05, EpsilonLo: 2, EpsilonHi: 1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, c)
+		}
+	}
+	if err := (Config{Alpha: 1, P: 0.05}).Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestNumAdvertisers(t *testing.T) {
+	tests := []struct {
+		alpha, p float64
+		want     int
+	}{
+		{1.00, 0.01, 100},
+		{1.00, 0.05, 20},
+		{1.00, 0.20, 5},
+		{0.40, 0.02, 20},
+		{1.20, 0.10, 12},
+		{0.01, 0.20, 1}, // rounds to 0 → clamped to 1
+	}
+	for _, tt := range tests {
+		c := Config{Alpha: tt.alpha, P: tt.p}
+		if got := c.NumAdvertisers(); got != tt.want {
+			t.Errorf("NumAdvertisers(α=%v, p=%v) = %d, want %d", tt.alpha, tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestGenerateDemandsMatchConfiguration(t *testing.T) {
+	u := uniformUniverse(100, 50) // supply 5000
+	r := rng.New(11)
+	c := Config{Alpha: 1.0, P: 0.05}
+	advs, err := Generate(u, c, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(advs) != 20 {
+		t.Fatalf("|A| = %d, want 20", len(advs))
+	}
+	var totalDemand int64
+	for i, a := range advs {
+		// I_i = ⌊ω·5000·0.05⌋ = ⌊ω·250⌋, ω ∈ [0.8, 1.2) → [200, 300).
+		if a.Demand < 200 || a.Demand >= 300 {
+			t.Errorf("advertiser %d demand %d outside [200, 300)", i, a.Demand)
+		}
+		// L_i = ⌊ε·I_i⌋, ε ∈ [0.9, 1.1).
+		if a.Payment < 0.9*float64(a.Demand)-1 || a.Payment >= 1.1*float64(a.Demand) {
+			t.Errorf("advertiser %d payment %v outside ε bounds for demand %d", i, a.Payment, a.Demand)
+		}
+		totalDemand += a.Demand
+	}
+	// Global demand ≈ α·I* within the ω noise (mean 1.0).
+	if math.Abs(float64(totalDemand)-5000) > 0.15*5000 {
+		t.Errorf("total demand %d too far from α·I* = 5000", totalDemand)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	u := uniformUniverse(50, 20)
+	c := Config{Alpha: 0.8, P: 0.1}
+	a, err := Generate(u, c, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(u, c, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different advertisers at %d", i)
+		}
+	}
+}
+
+func TestGenerateMinimumDemand(t *testing.T) {
+	u := uniformUniverse(2, 1) // supply 2: ⌊ω·2·0.01⌋ = 0 → clamped to 1
+	advs, err := Generate(u, Config{Alpha: 0.02, P: 0.01}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range advs {
+		if a.Demand < 1 {
+			t.Fatalf("demand %d < 1", a.Demand)
+		}
+	}
+}
+
+func TestGenerateZeroSupply(t *testing.T) {
+	u := coverage.MustUniverse(0, []coverage.List{{}, {}})
+	if _, err := Generate(u, Config{Alpha: 1, P: 0.05}, rng.New(1)); err == nil {
+		t.Fatal("zero-supply universe accepted")
+	}
+}
+
+func TestNewInstanceEndToEnd(t *testing.T) {
+	u := uniformUniverse(100, 50)
+	inst, err := NewInstance(u, Config{Alpha: 1.0, P: 0.05}, DefaultGamma, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumAdvertisers() != 20 {
+		t.Fatalf("|A| = %d, want 20", inst.NumAdvertisers())
+	}
+	if got := inst.DemandSupplyRatio(); math.Abs(got-1.0) > 0.15 {
+		t.Errorf("realized α = %v, want ≈ 1.0", got)
+	}
+	if inst.Gamma() != DefaultGamma {
+		t.Errorf("gamma = %v", inst.Gamma())
+	}
+}
+
+func TestPaperGrids(t *testing.T) {
+	if len(Alphas) != 5 || Alphas[3] != DefaultAlpha {
+		t.Error("alpha grid wrong")
+	}
+	if len(Ps) != 5 || Ps[2] != DefaultP {
+		t.Error("p grid wrong")
+	}
+	if len(Gammas) != 5 || Gammas[2] != DefaultGamma {
+		t.Error("gamma grid wrong")
+	}
+	if len(Lambdas) != 4 || Lambdas[1] != DefaultLambda {
+		t.Error("lambda grid wrong")
+	}
+}

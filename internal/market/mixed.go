@@ -1,0 +1,108 @@
+package market
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/coverage"
+	"repro/internal/rng"
+)
+
+// Mixed markets extend the paper's uniform-p setup: the Q1/Q2 discussion
+// ("Revisit Q1 and Q2", §7.2.1) concludes that a large number of
+// medium-demand advertisers is the ideal balance for the host. MixedConfig
+// lets an experiment compose advertiser classes (e.g. a few big brands plus
+// many small shops) at a fixed global α, so that conclusion can be tested
+// directly (BenchmarkAblation_MarketComposition).
+
+// Class is one advertiser class in a mixed market.
+type Class struct {
+	// P is the class's average-individual demand ratio (like Config.P).
+	P float64
+	// AlphaShare is the fraction of the global demand α contributed by
+	// this class. Shares must sum to 1.
+	AlphaShare float64
+}
+
+// MixedConfig describes a market composed of several advertiser classes.
+type MixedConfig struct {
+	// Alpha is the global demand-supply ratio α shared by all classes.
+	Alpha float64
+	// Classes compose the market; AlphaShares must sum to 1 (±1e-9).
+	Classes []Class
+	// OmegaLo/OmegaHi and EpsilonLo/EpsilonHi as in Config; zero values
+	// select the paper's defaults.
+	OmegaLo, OmegaHi     float64
+	EpsilonLo, EpsilonHi float64
+}
+
+// Validate reports whether the mixed configuration is usable.
+func (c MixedConfig) Validate() error {
+	if c.Alpha <= 0 {
+		return fmt.Errorf("market: alpha %v must be positive", c.Alpha)
+	}
+	if len(c.Classes) == 0 {
+		return fmt.Errorf("market: no classes")
+	}
+	total := 0.0
+	for i, cl := range c.Classes {
+		if cl.P <= 0 || cl.P > 1 {
+			return fmt.Errorf("market: class %d p %v must be in (0, 1]", i, cl.P)
+		}
+		if cl.AlphaShare <= 0 {
+			return fmt.Errorf("market: class %d share %v must be positive", i, cl.AlphaShare)
+		}
+		total += cl.AlphaShare
+	}
+	if total < 1-1e-9 || total > 1+1e-9 {
+		return fmt.Errorf("market: class shares sum to %v, want 1", total)
+	}
+	return nil
+}
+
+// GenerateMixed produces the advertiser set of a mixed market: each class
+// contributes round(α·share/p) advertisers with demands ⌊ω·I*·p⌋, exactly
+// as the uniform generator does per class.
+func GenerateMixed(u *coverage.Universe, c MixedConfig, r *rng.RNG) ([]core.Advertiser, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	var advs []core.Advertiser
+	for i, cl := range c.Classes {
+		sub := Config{
+			Alpha:     c.Alpha * cl.AlphaShare,
+			P:         cl.P,
+			OmegaLo:   c.OmegaLo,
+			OmegaHi:   c.OmegaHi,
+			EpsilonLo: c.EpsilonLo,
+			EpsilonHi: c.EpsilonHi,
+		}
+		part, err := Generate(u, sub, r.Derive(fmt.Sprintf("class-%d", i)))
+		if err != nil {
+			return nil, err
+		}
+		advs = append(advs, part...)
+	}
+	// Reassign dense IDs across classes (NewInstance would anyway).
+	for i := range advs {
+		advs[i].ID = i
+	}
+	return advs, nil
+}
+
+// Compositions returns three canonical market mixes at the same α, the
+// comparison behind the paper's Q2 answer:
+//
+//	"many-small":  everything from p=1% advertisers
+//	"few-big":     everything from p=20% advertisers
+//	"mixed":       half the demand from p=2%, half from p=10%
+func Compositions(alpha float64) map[string]MixedConfig {
+	return map[string]MixedConfig{
+		"many-small": {Alpha: alpha, Classes: []Class{{P: 0.01, AlphaShare: 1}}},
+		"few-big":    {Alpha: alpha, Classes: []Class{{P: 0.20, AlphaShare: 1}}},
+		"mixed": {Alpha: alpha, Classes: []Class{
+			{P: 0.02, AlphaShare: 0.5},
+			{P: 0.10, AlphaShare: 0.5},
+		}},
+	}
+}

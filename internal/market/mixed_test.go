@@ -1,0 +1,102 @@
+package market
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestMixedConfigValidate(t *testing.T) {
+	good := MixedConfig{Alpha: 1, Classes: []Class{
+		{P: 0.02, AlphaShare: 0.5},
+		{P: 0.10, AlphaShare: 0.5},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []MixedConfig{
+		{Alpha: 0, Classes: []Class{{P: 0.05, AlphaShare: 1}}},
+		{Alpha: 1},
+		{Alpha: 1, Classes: []Class{{P: 0, AlphaShare: 1}}},
+		{Alpha: 1, Classes: []Class{{P: 0.05, AlphaShare: 0}}},
+		{Alpha: 1, Classes: []Class{{P: 0.05, AlphaShare: 0.7}}},                            // shares != 1
+		{Alpha: 1, Classes: []Class{{P: 0.05, AlphaShare: 0.7}, {P: 0.1, AlphaShare: 0.7}}}, // > 1
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateMixedComposition(t *testing.T) {
+	u := uniformUniverse(100, 100) // supply 10000
+	c := MixedConfig{Alpha: 1, Classes: []Class{
+		{P: 0.02, AlphaShare: 0.5}, // 0.5/0.02 = 25 advertisers at ~200 demand
+		{P: 0.10, AlphaShare: 0.5}, // 0.5/0.10 = 5 advertisers at ~1000 demand
+	}}
+	advs, err := GenerateMixed(u, c, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(advs) != 30 {
+		t.Fatalf("|A| = %d, want 30", len(advs))
+	}
+	small, big := 0, 0
+	var totalDemand int64
+	for i, a := range advs {
+		if a.ID != i {
+			t.Fatalf("IDs not dense at %d", i)
+		}
+		totalDemand += a.Demand
+		switch {
+		case a.Demand >= 160 && a.Demand < 240:
+			small++
+		case a.Demand >= 800 && a.Demand < 1200:
+			big++
+		default:
+			t.Fatalf("advertiser %d demand %d matches no class", i, a.Demand)
+		}
+	}
+	if small != 25 || big != 5 {
+		t.Fatalf("class counts %d/%d, want 25/5", small, big)
+	}
+	// Global demand ≈ α·I* = 10000.
+	if math.Abs(float64(totalDemand)-10000) > 1500 {
+		t.Fatalf("total demand %d too far from 10000", totalDemand)
+	}
+}
+
+func TestGenerateMixedDeterministic(t *testing.T) {
+	u := uniformUniverse(50, 40)
+	c := Compositions(1.0)["mixed"]
+	a, err := GenerateMixed(u, c, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateMixed(u, c, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed differs at %d", i)
+		}
+	}
+}
+
+func TestCompositions(t *testing.T) {
+	comps := Compositions(0.8)
+	if len(comps) != 3 {
+		t.Fatalf("%d compositions", len(comps))
+	}
+	for name, c := range comps {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", name, err)
+		}
+		if c.Alpha != 0.8 {
+			t.Errorf("%s alpha = %v", name, c.Alpha)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/experiment"
+)
+
+// WriteFigureMarkdown renders a figure as a GitHub-flavored markdown table,
+// the format EXPERIMENTS.md uses to record reproduction runs.
+func WriteFigureMarkdown(w io.Writer, fig experiment.Figure) error {
+	if _, err := fmt.Fprintf(w, "**%s** — %s\n\n", fig.ID, fig.Title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "| point | algorithm | total regret | excess % | unsat % | satisfied | runtime |"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "|---|---|---:|---:|---:|---:|---:|"); err != nil {
+		return err
+	}
+	for _, pt := range fig.Points {
+		for _, m := range pt.Metrics {
+			if _, err := fmt.Fprintf(w, "| %s | %s | %.1f | %.1f | %.1f | %d/%d | %.3fs |\n",
+				mdEscape(pt.Label), m.Algorithm, m.TotalRegret,
+				m.ExcessPct(), m.UnsatisfiedPct(),
+				m.SatisfiedCount, m.NumAdvertisers, m.Runtime.Seconds()); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteGapMarkdown renders the approximation-gap study as a markdown table.
+func WriteGapMarkdown(w io.Writer, rows []experiment.GapRow) error {
+	if _, err := fmt.Fprintln(w, "| algorithm | mean ratio to optimum | worst ratio | exact hits |"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "|---|---:|---:|---:|"); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintf(w, "| %s | %.3f | %.3f | %d/%d |\n",
+			row.Algorithm, row.MeanRatio, row.WorstRatio, row.OptimalHits, row.Instances); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mdEscape protects table-breaking characters in labels.
+func mdEscape(s string) string {
+	return strings.ReplaceAll(s, "|", "\\|")
+}

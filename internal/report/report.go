@@ -1,0 +1,180 @@
+// Package report renders experiment results as aligned text tables, ASCII
+// stacked-bar "figures" mirroring the paper's plots, and CSV for external
+// plotting.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/experiment"
+)
+
+// barWidth is the width of the ASCII stacked bars in characters.
+const barWidth = 40
+
+// WriteFigure renders one figure as an ASCII stacked-bar chart: one bar per
+// (point, algorithm) pair, scaled to the figure's maximum total regret.
+// The '#' span is the unsatisfied-penalty component and the '=' span the
+// excessive-influence component, with the two percentages annotated after
+// the bar exactly like the numbers atop the paper's stacked bars.
+func WriteFigure(w io.Writer, fig experiment.Figure) error {
+	if _, err := fmt.Fprintf(w, "%s: %s\n", fig.ID, fig.Title); err != nil {
+		return err
+	}
+	maxRegret := 0.0
+	algWidth := 0
+	for _, pt := range fig.Points {
+		for _, m := range pt.Metrics {
+			if m.TotalRegret > maxRegret {
+				maxRegret = m.TotalRegret
+			}
+			if len(m.Algorithm) > algWidth {
+				algWidth = len(m.Algorithm)
+			}
+		}
+	}
+	for _, pt := range fig.Points {
+		if _, err := fmt.Fprintf(w, "  %s\n", pt.Label); err != nil {
+			return err
+		}
+		for _, m := range pt.Metrics {
+			bar := stackedBar(m, maxRegret)
+			if _, err := fmt.Fprintf(w, "    %-*s %s %12.1f  (excess %4.1f%%, unsat %4.1f%%, satisfied %d/%d)\n",
+				algWidth, m.Algorithm, bar, m.TotalRegret,
+				m.ExcessPct(), m.UnsatisfiedPct(), m.SatisfiedCount, m.NumAdvertisers); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// stackedBar renders one metrics row as a fixed-width two-component bar.
+func stackedBar(m experiment.Metrics, maxRegret float64) string {
+	if maxRegret <= 0 {
+		return strings.Repeat(".", barWidth)
+	}
+	total := int(m.TotalRegret / maxRegret * barWidth)
+	if total > barWidth {
+		total = barWidth
+	}
+	unsat := 0
+	if m.TotalRegret > 0 {
+		unsat = int(m.Unsatisfied / m.TotalRegret * float64(total))
+	}
+	excess := total - unsat
+	return strings.Repeat("#", unsat) + strings.Repeat("=", excess) +
+		strings.Repeat(".", barWidth-total)
+}
+
+// WriteRuntimeFigure renders an efficiency figure: wall-clock time and
+// marginal-evaluation counts per method, formatted as a table (the paper's
+// Figures 8-9 are log-scale line plots; a table carries the same ordering
+// information).
+func WriteRuntimeFigure(w io.Writer, fig experiment.Figure) error {
+	if _, err := fmt.Fprintf(w, "%s: %s\n", fig.ID, fig.Title); err != nil {
+		return err
+	}
+	tbl := NewTable("point", "algorithm", "runtime", "evals")
+	for _, pt := range fig.Points {
+		for _, m := range pt.Metrics {
+			tbl.AddRow(pt.Label, m.Algorithm,
+				fmt.Sprintf("%.3fs", m.Runtime.Seconds()),
+				fmt.Sprintf("%d", m.Evals))
+		}
+	}
+	return tbl.Write(w)
+}
+
+// WriteFigureCSV emits the figure's raw numbers as CSV with one row per
+// (point, algorithm).
+func WriteFigureCSV(w io.Writer, fig experiment.Figure) error {
+	if _, err := fmt.Fprintln(w, "figure,point,algorithm,total_regret,excess,unsatisfied,excess_pct,unsat_pct,satisfied,advertisers,runtime_seconds,evals"); err != nil {
+		return err
+	}
+	for _, pt := range fig.Points {
+		for _, m := range pt.Metrics {
+			if _, err := fmt.Fprintf(w, "%s,%s,%s,%.4f,%.4f,%.4f,%.2f,%.2f,%d,%d,%.6f,%d\n",
+				fig.ID, csvEscape(pt.Label), m.Algorithm,
+				m.TotalRegret, m.Excess, m.Unsatisfied,
+				m.ExcessPct(), m.UnsatisfiedPct(),
+				m.SatisfiedCount, m.NumAdvertisers,
+				m.Runtime.Seconds(), m.Evals); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// csvEscape quotes a field if it contains a comma or quote.
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// Table is a simple aligned text table.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends one row; missing cells render empty, extra cells are
+// dropped.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Write renders the table with aligned columns.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		_, err := fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := writeRow(t.header); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := writeRow(sep); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

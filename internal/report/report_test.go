@@ -1,0 +1,220 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func sampleFigure() experiment.Figure {
+	return experiment.Figure{
+		ID:    "fig2",
+		Title: "Regret vs α (NYC, p=1%)",
+		Points: []experiment.Point{
+			{
+				Label: "α=40%",
+				Metrics: []experiment.Metrics{
+					{Algorithm: "G-Order", TotalRegret: 100, Excess: 80, Unsatisfied: 20,
+						SatisfiedCount: 8, NumAdvertisers: 10, Runtime: 12 * time.Millisecond, Evals: 1000},
+					{Algorithm: "BLS", TotalRegret: 20, Excess: 20, Unsatisfied: 0,
+						SatisfiedCount: 10, NumAdvertisers: 10, Runtime: 150 * time.Millisecond, Evals: 50000},
+				},
+			},
+			{
+				Label: "α=120%",
+				Metrics: []experiment.Metrics{
+					{Algorithm: "G-Order", TotalRegret: 500, Excess: 50, Unsatisfied: 450,
+						SatisfiedCount: 2, NumAdvertisers: 10, Runtime: 20 * time.Millisecond, Evals: 2000},
+					{Algorithm: "BLS", TotalRegret: 200, Excess: 10, Unsatisfied: 190,
+						SatisfiedCount: 6, NumAdvertisers: 10, Runtime: 300 * time.Millisecond, Evals: 90000},
+				},
+			},
+		},
+	}
+}
+
+func TestWriteFigure(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteFigure(&sb, sampleFigure()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"fig2", "α=40%", "α=120%", "G-Order", "BLS", "satisfied 10/10", "excess 80.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The largest bar (500) should be full width; the 20 bar tiny.
+	lines := strings.Split(out, "\n")
+	var fullBar string
+	for _, l := range lines {
+		if strings.Contains(l, "500.0") {
+			fullBar = l
+		}
+	}
+	if strings.Count(fullBar, "#")+strings.Count(fullBar, "=") != barWidth {
+		t.Errorf("max bar not full width: %q", fullBar)
+	}
+}
+
+func TestWriteFigureZeroRegret(t *testing.T) {
+	fig := experiment.Figure{
+		ID:    "figZ",
+		Title: "all zero",
+		Points: []experiment.Point{{
+			Label: "x",
+			Metrics: []experiment.Metrics{
+				{Algorithm: "BLS", TotalRegret: 0, SatisfiedCount: 5, NumAdvertisers: 5},
+			},
+		}},
+	}
+	var sb strings.Builder
+	if err := WriteFigure(&sb, fig); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), strings.Repeat(".", barWidth)) {
+		t.Error("zero regret should render an empty bar")
+	}
+}
+
+func TestWriteRuntimeFigure(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteRuntimeFigure(&sb, sampleFigure()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"runtime", "evals", "0.012s", "90000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteFigureCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteFigureCSV(&sb, sampleFigure()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 5 { // header + 4 rows
+		t.Fatalf("%d lines, want 5:\n%s", len(lines), sb.String())
+	}
+	if !strings.HasPrefix(lines[0], "figure,point,algorithm") {
+		t.Errorf("bad header %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "fig2,α=40%,G-Order,100.0000") {
+		t.Errorf("bad first row %q", lines[1])
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	if got := csvEscape("plain"); got != "plain" {
+		t.Errorf("csvEscape(plain) = %q", got)
+	}
+	if got := csvEscape(`a,b"c`); got != `"a,b""c"` {
+		t.Errorf("csvEscape quoted = %q", got)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tbl := NewTable("name", "value")
+	tbl.AddRow("alpha", "40%")
+	tbl.AddRow("a-very-long-name", "1")
+	tbl.AddRow("short") // missing cell
+	var sb strings.Builder
+	if err := tbl.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header + separator + 3 rows
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[1], "---") {
+		t.Errorf("header/separator malformed:\n%s", out)
+	}
+	// Columns aligned: "value" of row 1 starts at the same offset as the
+	// header's "value".
+	if strings.Index(lines[0], "value") != strings.Index(lines[2], "40%") {
+		t.Errorf("columns not aligned:\n%s", out)
+	}
+}
+
+func TestStackedBarComposition(t *testing.T) {
+	m := experiment.Metrics{TotalRegret: 100, Excess: 25, Unsatisfied: 75}
+	bar := stackedBar(m, 100)
+	if len([]rune(bar)) != barWidth {
+		t.Fatalf("bar width %d, want %d", len(bar), barWidth)
+	}
+	hashes := strings.Count(bar, "#")
+	eqs := strings.Count(bar, "=")
+	if hashes+eqs != barWidth {
+		t.Errorf("full-scale bar should fill the width: %q", bar)
+	}
+	if hashes != 30 { // 75% of 40
+		t.Errorf("unsat span = %d, want 30", hashes)
+	}
+}
+
+func TestWriteFigureMarkdown(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteFigureMarkdown(&sb, sampleFigure()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"**fig2**", "| point |", "| α=40% | G-Order | 100.0 |", "| 8/10 |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteGapMarkdown(t *testing.T) {
+	rows := []experiment.GapRow{
+		{Algorithm: "BLS", MeanRatio: 1.04, WorstRatio: 1.2, OptimalHits: 7, Instances: 10},
+	}
+	var sb strings.Builder
+	if err := WriteGapMarkdown(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "| BLS | 1.040 | 1.200 | 7/10 |") {
+		t.Errorf("gap markdown wrong:\n%s", sb.String())
+	}
+}
+
+func TestMDEscape(t *testing.T) {
+	if got := mdEscape("a|b"); got != `a\|b` {
+		t.Errorf("mdEscape = %q", got)
+	}
+}
+
+func TestWriteFigureSVG(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteFigureSVG(&sb, sampleFigure()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"<svg", "</svg>", "fig2", "G-Order", "BLS", "<rect"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	if strings.Count(out, "<rect") < 8 { // 2 legend + 2 per bar × 4 bars minimum
+		t.Errorf("too few rects: %d", strings.Count(out, "<rect"))
+	}
+}
+
+func TestWriteFigureSVGEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteFigureSVG(&sb, experiment.Figure{ID: "x"}); err == nil {
+		t.Fatal("empty figure accepted")
+	}
+}
+
+func TestSVGEscape(t *testing.T) {
+	if got := svgEscape(`a<b>&"c`); got != "a&lt;b&gt;&amp;&quot;c" {
+		t.Errorf("svgEscape = %q", got)
+	}
+}

@@ -1,0 +1,110 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/experiment"
+)
+
+// WriteFigureSVG renders a figure as a standalone SVG stacked-bar chart in
+// the style of the paper's plots: one bar group per point, one bar per
+// method, the unsatisfied-penalty component stacked under the
+// excessive-influence component, with the two percentages printed above
+// each bar. Pure stdlib, no fonts beyond SVG defaults — drop the file into
+// a browser or a README.
+func WriteFigureSVG(w io.Writer, fig experiment.Figure) error {
+	const (
+		barW      = 26  // bar width in px
+		barGap    = 6   // gap between bars of a group
+		groupGap  = 34  // gap between groups
+		plotH     = 260 // plot area height
+		marginL   = 64
+		marginTop = 56
+		marginBot = 46
+	)
+	nAlgs := 0
+	maxRegret := 0.0
+	for _, pt := range fig.Points {
+		if len(pt.Metrics) > nAlgs {
+			nAlgs = len(pt.Metrics)
+		}
+		for _, m := range pt.Metrics {
+			if m.TotalRegret > maxRegret {
+				maxRegret = m.TotalRegret
+			}
+		}
+	}
+	if nAlgs == 0 {
+		return fmt.Errorf("report: figure %q has no metrics", fig.ID)
+	}
+	if maxRegret == 0 {
+		maxRegret = 1
+	}
+	groupW := nAlgs*(barW+barGap) - barGap
+	width := marginL + len(fig.Points)*(groupW+groupGap) + 16
+	height := marginTop + plotH + marginBot
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&sb, `<text x="%d" y="20" font-size="13" font-weight="bold">%s: %s</text>`+"\n",
+		marginL, svgEscape(fig.ID), svgEscape(fig.Title))
+
+	// Y axis with four gridlines.
+	for tick := 0; tick <= 4; tick++ {
+		v := maxRegret * float64(tick) / 4
+		y := float64(marginTop+plotH) - float64(plotH)*float64(tick)/4
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, y, width-16, y)
+		fmt.Fprintf(&sb, `<text x="%d" y="%.1f" text-anchor="end" fill="#555">%.0f</text>`+"\n",
+			marginL-6, y+4, v)
+	}
+
+	// Legend: per-method fill colors (unsatisfied component darker).
+	colors := []string{"#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#9c755f", "#76b7b2"}
+	for a := 0; a < nAlgs && a < len(fig.Points[0].Metrics); a++ {
+		x := marginL + a*120
+		fmt.Fprintf(&sb, `<rect x="%d" y="30" width="10" height="10" fill="%s"/>`+"\n", x, colors[a%len(colors)])
+		fmt.Fprintf(&sb, `<text x="%d" y="39">%s</text>`+"\n", x+14, svgEscape(fig.Points[0].Metrics[a].Algorithm))
+	}
+
+	for gi, pt := range fig.Points {
+		gx := marginL + gi*(groupW+groupGap)
+		for ai, m := range pt.Metrics {
+			x := gx + ai*(barW+barGap)
+			total := m.TotalRegret / maxRegret * float64(plotH)
+			unsat := 0.0
+			if m.TotalRegret > 0 {
+				unsat = m.Unsatisfied / m.TotalRegret * total
+			}
+			excess := total - unsat
+			baseY := float64(marginTop + plotH)
+			color := colors[ai%len(colors)]
+			// Unsatisfied component: solid fill at the bottom.
+			fmt.Fprintf(&sb, `<rect x="%d" y="%.1f" width="%d" height="%.1f" fill="%s"/>`+"\n",
+				x, baseY-unsat, barW, unsat, color)
+			// Excessive component: translucent fill stacked above.
+			fmt.Fprintf(&sb, `<rect x="%d" y="%.1f" width="%d" height="%.1f" fill="%s" fill-opacity="0.45"/>`+"\n",
+				x, baseY-total, barW, excess, color)
+			// Percentages above the bar, as in the paper.
+			if m.TotalRegret > 0 {
+				fmt.Fprintf(&sb, `<text x="%d" y="%.1f" text-anchor="middle" font-size="8" fill="#333">%.0f/%.0f</text>`+"\n",
+					x+barW/2, baseY-total-3, m.ExcessPct(), m.UnsatisfiedPct())
+			}
+		}
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" text-anchor="middle" fill="#333">%s</text>`+"\n",
+			gx+groupW/2, marginTop+plotH+18, svgEscape(pt.Label))
+	}
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" fill="#555">solid = unsatisfied penalty, translucent = excessive influence; labels are excess%%/unsat%%</text>`+"\n",
+		marginL, marginTop+plotH+36)
+	sb.WriteString("</svg>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// svgEscape protects XML-special characters in labels.
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,211 @@
+// Package rng provides a small, deterministic pseudo-random number generator
+// used throughout the repository.
+//
+// Every dataset, market and experiment in this project must be reproducible
+// from a single integer seed. The standard library's math/rand/v2 offers good
+// generators, but its global functions are seeded randomly and its sources do
+// not support the named-substream derivation we rely on to keep independent
+// parts of an experiment (billboard layout, trajectory sampling, advertiser
+// demands, algorithm restarts, ...) statistically independent while remaining
+// stable when one part changes the number of draws it makes.
+//
+// The generator is PCG-XSH-RR 64/32 combined into 64-bit outputs (two 32-bit
+// halves from consecutive states), after O'Neill's PCG family. It is not
+// cryptographically secure and must never be used for security purposes.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+const (
+	pcgMultiplier = 6364136223846793005
+	pcgDefaultInc = 1442695040888963407
+)
+
+// RNG is a deterministic pseudo-random number generator. The zero value is
+// not valid; construct with New or Derive.
+type RNG struct {
+	state uint64
+	inc   uint64 // stream selector; always odd
+}
+
+// New returns a generator seeded with seed on the default stream.
+func New(seed uint64) *RNG {
+	return NewStream(seed, pcgDefaultInc>>1)
+}
+
+// NewStream returns a generator seeded with seed on the given stream.
+// Distinct streams produce statistically independent sequences even for the
+// same seed.
+func NewStream(seed, stream uint64) *RNG {
+	r := &RNG{inc: stream<<1 | 1}
+	r.state = r.inc + seed
+	r.next32()
+	r.next32()
+	return r
+}
+
+// Derive returns a new generator whose seed is derived from the parent's seed
+// material and the given name. Deriving the same name twice yields identical
+// generators; the parent is not advanced. This gives named substreams:
+//
+//	root := rng.New(42)
+//	bbRNG := root.Derive("billboards")
+//	tjRNG := root.Derive("trajectories")
+func (r *RNG) Derive(name string) *RNG {
+	h := fnv64(name)
+	return NewStream(r.state^h, r.inc>>1^bits.RotateLeft64(h, 31))
+}
+
+// fnv64 is the FNV-1a hash of s.
+func fnv64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+func (r *RNG) next32() uint32 {
+	old := r.state
+	r.state = old*pcgMultiplier + r.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return bits.RotateLeft32(xorshifted, -int(rot))
+}
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	hi := uint64(r.next32())
+	lo := uint64(r.next32())
+	return hi<<32 | lo
+}
+
+// Uint32 returns a uniformly distributed 32-bit value.
+func (r *RNG) Uint32() uint32 { return r.next32() }
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+// The implementation uses Lemire's nearly-divisionless bounded sampling.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniformly distributed uint64 in [0, n). It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with n == 0")
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Range returns a uniformly distributed float64 in [lo, hi).
+func (r *RNG) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// NormFloat64 returns a standard normal variate via the polar Box–Muller
+// method (Marsaglia polar method). It is deterministic given the generator
+// state, consuming a variable number of uniforms.
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Perm returns a pseudo-random permutation of [0, n) as a slice of ints.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.ShuffleInts(p)
+	return p
+}
+
+// ShuffleInts shuffles s in place (Fisher–Yates).
+func (r *RNG) ShuffleInts(s []int) {
+	for i := len(s) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// Shuffle shuffles n elements using the provided swap function (Fisher–Yates).
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Zipf samples from a bounded Zipf distribution over {0, ..., n-1} with
+// exponent s > 0 (probability of rank k proportional to 1/(k+1)^s). The
+// sampler uses the precomputed cumulative table held in z.
+type Zipf struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf constructs a Zipf sampler over n ranks with exponent s, drawing
+// randomness from r. It panics if n <= 0 or s < 0.
+func NewZipf(r *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf called with n <= 0")
+	}
+	if s < 0 {
+		panic("rng: NewZipf called with s < 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += 1 / math.Pow(float64(k+1), s)
+		cdf[k] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	return &Zipf{cdf: cdf, rng: r}
+}
+
+// Next returns the next Zipf-distributed rank in [0, n).
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	// Binary search for the first index with cdf >= u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

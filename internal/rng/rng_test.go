@@ -1,0 +1,245 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws out of 100", same)
+	}
+}
+
+func TestDeriveStableAndIndependent(t *testing.T) {
+	root := New(7)
+	a1 := root.Derive("billboards")
+	a2 := root.Derive("billboards")
+	b := root.Derive("trajectories")
+	for i := 0; i < 100; i++ {
+		if a1.Uint64() != a2.Uint64() {
+			t.Fatalf("Derive not stable at draw %d", i)
+		}
+	}
+	// The parent state must be unchanged by derivation.
+	c1 := root.Derive("billboards")
+	if c1.Uint64() != New(7).Derive("billboards").Uint64() {
+		t.Fatal("Derive advanced the parent state")
+	}
+	// Substreams should not track each other.
+	a := root.Derive("billboards")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("substreams look correlated: %d/100 identical draws", same)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(11)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for k, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: got %d, want about %.0f", k, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	sum := 0.0
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / 10000; mean < 0.48 || mean > 0.52 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestRange(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 1000; i++ {
+		v := r.Range(0.9, 1.1)
+		if v < 0.9 || v >= 1.1 {
+			t.Fatalf("Range(0.9,1.1) = %v out of bounds", v)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(9)
+	const n = 100000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		p := New(seed).Perm(int(n))
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= int(n) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == int(n)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	r := New(13)
+	s := []int{1, 1, 2, 3, 5, 8, 13, 21}
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	r.ShuffleInts(s)
+	got := 0
+	for _, v := range s {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed contents: sum %d != %d", got, sum)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(21)
+	z := NewZipf(r, 100, 1.2)
+	counts := make([]int, 100)
+	for i := 0; i < 50000; i++ {
+		k := z.Next()
+		if k < 0 || k >= 100 {
+			t.Fatalf("Zipf rank %d out of range", k)
+		}
+		counts[k]++
+	}
+	if counts[0] <= counts[10] || counts[10] <= counts[50] {
+		t.Errorf("Zipf counts not decreasing: c0=%d c10=%d c50=%d",
+			counts[0], counts[10], counts[50])
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	r := New(22)
+	z := NewZipf(r, 10, 0)
+	counts := make([]int, 10)
+	for i := 0; i < 50000; i++ {
+		counts[z.Next()]++
+	}
+	for k, c := range counts {
+		if c < 4000 || c > 6000 {
+			t.Errorf("s=0 bucket %d: got %d, want ~5000", k, c)
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"n<=0": func() { NewZipf(New(1), 0, 1) },
+		"s<0":  func() { NewZipf(New(1), 10, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf %s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(31)
+	for _, n := range []uint64{1, 2, 10, 1 << 40} {
+		for i := 0; i < 100; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d", n, v)
+			}
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Intn(1000)
+	}
+}

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if math.Abs(s.Std-2) > 1e-12 {
+		t.Errorf("Std = %v, want 2", s.Std)
+	}
+	if s.Median != 4.5 {
+		t.Errorf("Median = %v, want 4.5", s.Median)
+	}
+	if got := Summarize(nil); got.N != 0 || got.Mean != 0 {
+		t.Errorf("empty Summarize = %+v", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	tests := []struct{ p, want float64 }{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5}, {75, 32.5},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if got := Percentile([]float64{7}, 50); got != 7 {
+		t.Errorf("single-element percentile = %v", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	_ = Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Percentile sorted the caller's slice")
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty": func() { Percentile(nil, 50) },
+		"p<0":   func() { Percentile([]float64{1}, -1) },
+		"p>100": func() { Percentile([]float64{1}, 101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPercentileBoundsProperty(t *testing.T) {
+	check := func(raw []float64, pq uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		p := float64(pq % 101)
+		got := Percentile(raw, p)
+		sorted := append([]float64(nil), raw...)
+		sort.Float64s(sorted)
+		return got >= sorted[0] && got <= sorted[len(sorted)-1]
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 2) != 0.5 {
+		t.Error("Ratio(1,2)")
+	}
+	if Ratio(5, 0) != 0 {
+		t.Error("Ratio(x,0) should be 0")
+	}
+}

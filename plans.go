@@ -1,0 +1,48 @@
+package mroam
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/coverage"
+)
+
+// Plan persistence, host-facing audits and the impression-count influence
+// extension, re-exported from the internal implementation.
+
+// AuditRow summarizes one advertiser's outcome under a plan.
+type AuditRow = core.AuditRow
+
+// NewInstanceWithImpressions constructs an MROAM instance under the
+// impression-count influence measure (Zhang et al., KDD 2019, which the
+// paper cites as an orthogonal alternative to union coverage): a trajectory
+// counts toward I(S_i) only after it meets at least k billboards of S_i.
+// k = 1 is exactly NewInstance.
+func NewInstanceWithImpressions(u *Universe, advertisers []Advertiser, gamma float64, k int) (*Instance, error) {
+	return core.NewInstanceWithImpressions(u, advertisers, gamma, k)
+}
+
+// WritePlan serializes a plan's assignment as JSON, fingerprinting the
+// instance (γ, impressions, demands, payments) so it cannot be replayed
+// against a different problem.
+func WritePlan(w io.Writer, p *Plan) error { return core.WritePlan(w, p) }
+
+// ReadPlan deserializes a plan written by WritePlan and replays it against
+// the instance, re-deriving influences and regrets.
+func ReadPlan(r io.Reader, inst *Instance) (*Plan, error) { return core.ReadPlan(r, inst) }
+
+// Audit produces per-advertiser outcome rows sorted by descending regret.
+func Audit(p *Plan) []AuditRow { return core.Audit(p) }
+
+// Revenue returns the payment the host collects under the plan: full L_i
+// from satisfied advertisers, γ·L_i·I(S_i)/I_i from unsatisfied ones.
+func Revenue(p *Plan) float64 { return core.Revenue(p) }
+
+// CoverageCounter is the incremental influence evaluator underlying all
+// solvers, exposed for users building custom heuristics on the same
+// machinery.
+type CoverageCounter = coverage.Counter
+
+// NewCoverageCounter returns an empty incremental counter over the universe
+// (union-coverage influence).
+func NewCoverageCounter(u *Universe) *CoverageCounter { return coverage.NewCounter(u) }

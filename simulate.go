@@ -1,0 +1,60 @@
+package mroam
+
+import (
+	"repro/internal/hardness"
+	"repro/internal/rng"
+	"repro/internal/simulate"
+)
+
+// Rolling-market simulation (the setting of the paper's introduction: new
+// advertisers arrive every day) and the executable §4 hardness reduction,
+// re-exported from the internal implementations.
+
+type (
+	// SimulationConfig parameterizes a rolling-market simulation.
+	SimulationConfig = simulate.Config
+	// SimulationResult aggregates a simulated horizon.
+	SimulationResult = simulate.Result
+	// DayReport is one simulated day's outcome.
+	DayReport = simulate.DayReport
+	// N3DM is a numerical 3-dimensional matching instance (§4).
+	N3DM = hardness.N3DM
+	// Triple is one matched N3DM triple.
+	Triple = hardness.Triple
+)
+
+// Simulate runs a rolling market on the universe with the algorithm as the
+// daily allocation policy: proposals arrive each day, contracts lock
+// billboards for their duration, and payments follow Equation 1's business
+// model (full on satisfaction, γ-scaled fraction otherwise).
+func Simulate(u *Universe, alg Algorithm, cfg SimulationConfig) (*SimulationResult, error) {
+	return simulate.Run(u, alg, cfg)
+}
+
+// ComparePolicies simulates the identical market (same arrival sequence)
+// once per algorithm and returns the results keyed by algorithm name.
+func ComparePolicies(u *Universe, algs []Algorithm, cfg SimulationConfig) (map[string]*SimulationResult, error) {
+	return simulate.ComparePolicies(u, algs, cfg)
+}
+
+// Subuniverse restricts a universe to the given billboard subset (dense
+// re-indexing in keep order); influences are preserved.
+func Subuniverse(u *Universe, keep []int) (*Universe, error) {
+	return u.Subuniverse(keep)
+}
+
+// RandomN3DM generates an N3DM instance guaranteed to have a perfect
+// matching (elements in [1, maxVal]).
+func RandomN3DM(seed uint64, n, maxVal int) (N3DM, error) {
+	return hardness.RandomYes(rng.New(seed), n, maxVal)
+}
+
+// ReduceN3DM builds the paper's §4 reduction: an MROAM instance whose
+// optimal regret is zero iff the N3DM instance has a perfect matching.
+func ReduceN3DM(p N3DM) (*Instance, error) { return hardness.Reduce(p) }
+
+// ExtractMatching interprets a zero-regret plan of a reduced instance as an
+// N3DM matching (the executable "if" direction of Theorem 1).
+func ExtractMatching(p N3DM, plan *Plan) ([]Triple, error) {
+	return hardness.ExtractMatching(p, plan)
+}
