@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt bench repro examples clean
+.PHONY: all build test test-race vet fmt bench repro examples clean
 
 all: build test
 
@@ -12,6 +12,10 @@ build:
 test:
 	$(GO) test ./...
 
+# The parallel restart engine must stay race-clean at any worker count.
+test-race:
+	$(GO) test -race ./...
+
 vet:
 	$(GO) vet ./...
 
@@ -19,9 +23,10 @@ fmt:
 	gofmt -l -w .
 
 # One benchmark per table/figure of the paper plus ablations; see
-# EXPERIMENTS.md for a recorded run.
+# EXPERIMENTS.md for a recorded run. -run=^$ skips the unit tests so the
+# suite measures only benchmark iterations.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem -run='^$$' ./...
 
 # Regenerate the full evaluation (text + CSV) into results/.
 repro:

@@ -180,6 +180,7 @@ func cmdSolve(args []string, out io.Writer) error {
 	lambda := fs.Float64("lambda", market.DefaultLambda, "influence radius λ in meters")
 	algName := fs.String("alg", "BLS", "algorithm: G-Order, G-Global, ALS or BLS")
 	restarts := fs.Int("restarts", core.DefaultRestarts, "local search restarts")
+	workers := fs.Int("workers", 0, "goroutines for the restart loop (0 = GOMAXPROCS); results are identical for any value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -215,7 +216,9 @@ func cmdSolve(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	alg, err := core.AlgorithmByName(*algName, *seed, *restarts)
+	alg, err := core.AlgorithmByNameOpts(*algName, core.LocalSearchOptions{
+		Seed: *seed, Restarts: *restarts, Workers: *workers,
+	})
 	if err != nil {
 		return err
 	}
@@ -411,6 +414,7 @@ func cmdPlan(args []string, out io.Writer) error {
 	p := fs.Float64("p", market.DefaultP, "average-individual demand ratio p")
 	algName := fs.String("alg", "BLS", "algorithm")
 	restarts := fs.Int("restarts", 3, "local search restarts")
+	workers := fs.Int("workers", 0, "goroutines for the restart loop (0 = GOMAXPROCS); results are identical for any value")
 	outPath := fs.String("out", "", "write the plan JSON to this file")
 	topN := fs.Int("top", 10, "audit rows to print (by descending regret)")
 	if err := fs.Parse(args); err != nil {
@@ -439,7 +443,9 @@ func cmdPlan(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	alg, err := core.AlgorithmByName(*algName, *seed, *restarts)
+	alg, err := core.AlgorithmByNameOpts(*algName, core.LocalSearchOptions{
+		Seed: *seed, Restarts: *restarts, Workers: *workers,
+	})
 	if err != nil {
 		return err
 	}

@@ -65,7 +65,13 @@ func (b BLSAlgorithm) Solve(inst *Instance) *Plan {
 // paper's presentation order, configured with the given seed and restart
 // count (restarts < 1 selects DefaultRestarts).
 func PaperAlgorithms(seed uint64, restarts int) []Algorithm {
-	opts := LocalSearchOptions{Seed: seed, Restarts: restarts}
+	return PaperAlgorithmsOpts(LocalSearchOptions{Seed: seed, Restarts: restarts})
+}
+
+// PaperAlgorithmsOpts is PaperAlgorithms with full control over the local
+// search options (restart count, improvement ratio, worker count). The
+// Search field is overridden per method.
+func PaperAlgorithmsOpts(opts LocalSearchOptions) []Algorithm {
 	return []Algorithm{
 		GOrderAlgorithm{},
 		GGlobalAlgorithm{},
@@ -76,7 +82,13 @@ func PaperAlgorithms(seed uint64, restarts int) []Algorithm {
 
 // AlgorithmByName returns the algorithm with the given figure name.
 func AlgorithmByName(name string, seed uint64, restarts int) (Algorithm, error) {
-	for _, a := range PaperAlgorithms(seed, restarts) {
+	return AlgorithmByNameOpts(name, LocalSearchOptions{Seed: seed, Restarts: restarts})
+}
+
+// AlgorithmByNameOpts is AlgorithmByName with full control over the local
+// search options.
+func AlgorithmByNameOpts(name string, opts LocalSearchOptions) (Algorithm, error) {
+	for _, a := range PaperAlgorithmsOpts(opts) {
 		if a.Name() == name {
 			return a, nil
 		}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/coverage"
+	"repro/internal/rng"
+)
+
+// withScanReference runs f with the lazy-greedy cache forced off,
+// restoring the mode afterwards. Tests use it to obtain the reference
+// full-scan behavior.
+func withScanReference(f func()) {
+	prev := celfMode
+	celfMode = celfForceOff
+	defer func() { celfMode = prev }()
+	f()
+}
+
+// withCELF runs f with the lazy-greedy cache forced on (the auto-mode size
+// threshold would route the small test instances to the scan).
+func withCELF(f func()) {
+	prev := celfMode
+	celfMode = celfForceOn
+	defer func() { celfMode = prev }()
+	f()
+}
+
+// TestGainCacheMatchesScanAcrossAlgorithms: all four methods must return
+// plans identical (sets, regret) to the reference full-scan implementation
+// on seeded random instances spanning the workload space, including the
+// degenerate γ=0 and γ=1 corners where greedy keys tie en masse.
+func TestGainCacheMatchesScanAcrossAlgorithms(t *testing.T) {
+	r := rng.New(4242)
+	for trial := 0; trial < 12; trial++ {
+		alpha := r.Range(0.3, 2.0)
+		gamma := []float64{0, 1, r.Range(0, 1)}[trial%3]
+		nAdv := 2 + r.Intn(6)
+		inst := randomInstance(r, 150+r.Intn(250), 10+r.Intn(30), 1+r.Intn(25), nAdv, alpha, gamma)
+		opts := LocalSearchOptions{Restarts: 2, Seed: uint64(trial)}
+		algs := []Algorithm{
+			GOrderAlgorithm{},
+			GGlobalAlgorithm{},
+			ALSAlgorithm{Opts: opts},
+			BLSAlgorithm{Opts: opts},
+		}
+		for _, alg := range algs {
+			var want *Plan
+			withScanReference(func() { want = alg.Solve(inst) })
+			var got *Plan
+			withCELF(func() { got = alg.Solve(inst) })
+			if err := got.Validate(); err != nil {
+				t.Fatalf("trial %d %s: %v", trial, alg.Name(), err)
+			}
+			if got.TotalRegret() != want.TotalRegret() {
+				t.Fatalf("trial %d %s: regret %v (cache) != %v (scan)",
+					trial, alg.Name(), got.TotalRegret(), want.TotalRegret())
+			}
+			var sg, sw []int
+			for i := 0; i < inst.NumAdvertisers(); i++ {
+				sg, sw = got.Set(i, sg[:0]), want.Set(i, sw[:0])
+				if len(sg) != len(sw) {
+					t.Fatalf("trial %d %s adv %d: |S| %d != %d", trial, alg.Name(), i, len(sg), len(sw))
+				}
+				for k := range sg {
+					if sg[k] != sw[k] {
+						t.Fatalf("trial %d %s adv %d: sets differ %v vs %v",
+							trial, alg.Name(), i, sg, sw)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGainCacheReducesEvals: the point of the CELF heap — the greedy must
+// reach the identical plan with strictly fewer marginal evaluations than
+// the full scan on a non-trivial instance.
+func TestGainCacheReducesEvals(t *testing.T) {
+	inst := randomInstance(rng.New(31), 500, 60, 30, 6, 1.0, 0.5)
+	var scanEvals int64
+	withScanReference(func() { scanEvals = GGlobal(inst).Evals() })
+	var cacheEvals int64
+	withCELF(func() { cacheEvals = GGlobal(inst).Evals() })
+	if cacheEvals >= scanEvals {
+		t.Fatalf("cache evals %d not below scan evals %d", cacheEvals, scanEvals)
+	}
+	t.Logf("G-Global marginal evals: scan=%d cache=%d (%.1f%%)",
+		scanEvals, cacheEvals, 100*float64(cacheEvals)/float64(scanEvals))
+}
+
+// TestGainCacheInvalidationOnRelease: after a release shrinks a set, the
+// rebuilt heap must still select exactly what the scan selects — including
+// re-offering the released billboard to every advertiser.
+func TestGainCacheInvalidationOnRelease(t *testing.T) {
+	u := coverage.MustUniverse(12, []coverage.List{
+		{0, 1, 2, 3}, {4, 5, 6}, {7, 8}, {9, 10, 11}, {0, 4, 7},
+	})
+	inst := MustInstance(u, []Advertiser{
+		{Demand: 6, Payment: 10},
+		{Demand: 4, Payment: 8},
+	}, 0.5)
+	p := NewPlan(inst)
+	// Warm both advertisers' heaps, then mutate through every move kind.
+	withCELF(func() {
+		if b, ok := bestBillboardFor(p, 0); ok {
+			p.Assign(b, 0)
+		}
+		if b, ok := bestBillboardFor(p, 1); ok {
+			p.Assign(b, 1)
+		}
+		p.ExchangeSets(0, 1)
+		if b, ok := bestBillboardFor(p, 0); ok {
+			p.Assign(b, 0)
+		}
+		p.ReleaseAll(0)
+	})
+	// After invalidation, selection must agree with the scan exactly.
+	for i := 0; i < 2; i++ {
+		gotB, gotOK := bestBillboardCELF(p, i)
+		wantB, wantOK := bestBillboardScan(p, i)
+		if gotB != wantB || gotOK != wantOK {
+			t.Fatalf("advertiser %d: cache picked (%d,%v), scan picked (%d,%v)",
+				i, gotB, gotOK, wantB, wantOK)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGainCacheImpressionThresholdFallback: under the k>1 impression-count
+// measure gains are not submodular, so bestBillboardFor must use the scan
+// (and still produce valid plans).
+func TestGainCacheImpressionThresholdFallback(t *testing.T) {
+	u := coverage.MustUniverse(8, []coverage.List{
+		{0, 1, 2}, {0, 1, 3}, {2, 3, 4}, {5, 6, 7},
+	})
+	inst, err := NewInstanceWithImpressions(u, []Advertiser{{Demand: 3, Payment: 6}}, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p *Plan
+	withCELF(func() { p = GGlobal(inst) })
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.cache != nil {
+		t.Fatal("gain cache built under impression threshold k=2")
+	}
+}

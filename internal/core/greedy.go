@@ -6,8 +6,8 @@ import "sort"
 // G-Order (Algorithm 1, budget-effective greedy) and G-Global (Algorithm 2,
 // synchronous greedy).
 
-// bestBillboardFor scans the unassigned billboards and returns the one
-// maximizing the paper's greedy criterion for advertiser i:
+// bestBillboardFor returns the unassigned billboard maximizing the paper's
+// greedy criterion for advertiser i:
 //
 //	(R(S_i) − R(S_i ∪ {o})) / I({o})
 //
@@ -16,7 +16,23 @@ import "sort"
 // coverage ratio gain(o)/I({o}) and then by the smaller ID, so selection is
 // deterministic. Billboards with I({o}) = 0 can never change any influence
 // and are skipped. Returns ok=false if no eligible billboard exists.
+//
+// Under the union-coverage measure on large universes the selection runs
+// on the lazy-greedy gain cache (gaincache.go), which returns the
+// identical billboard while evaluating far fewer marginal gains; small
+// universes keep the full scan (heap upkeep would cost more than it
+// saves), and the impression-count measure (k > 1) is not submodular and
+// always uses the scan. See planUsesCELF.
 func bestBillboardFor(p *Plan, i int) (best int, ok bool) {
+	if planUsesCELF(p) {
+		return bestBillboardCELF(p, i)
+	}
+	return bestBillboardScan(p, i)
+}
+
+// bestBillboardScan is the reference O(|U|·deg) implementation of
+// bestBillboardFor: evaluate every unassigned billboard.
+func bestBillboardScan(p *Plan, i int) (best int, ok bool) {
 	u := p.inst.Universe()
 	curRegret := p.Regret(i)
 	curInfl := p.Influence(i)

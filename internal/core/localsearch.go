@@ -56,6 +56,13 @@ type LocalSearchOptions struct {
 	// earlier, when a sweep yields no accepted move. Values < 1 are
 	// treated as DefaultMaxPasses.
 	MaxPasses int
+	// Workers is the number of goroutines the restart loop fans out
+	// over. Restarts are fully independent (each derives its own RNG
+	// stream), and the reduction is performed in restart order, so the
+	// returned plan, its regret and its aggregated Evals counter are
+	// bit-identical for every worker count. Values < 1 select
+	// runtime.GOMAXPROCS(0).
+	Workers int
 }
 
 // Defaults for LocalSearchOptions.
@@ -96,19 +103,20 @@ func (o LocalSearchOptions) threshold(current float64) float64 {
 // synchronous greedy, (3) improves it with the selected local search, and
 // keeps the best plan seen. The returned plan's Evals counter aggregates
 // the work of all restarts.
+//
+// The greedy initialization and the opts.Restarts restart iterations are
+// fully independent, so they run on a pool of opts.Workers goroutines
+// (parallel.go). The reduction — min total regret with ties broken by the
+// earlier restart, evals summed over all iterations — happens serially in
+// restart order afterwards, so the result is bit-identical to a serial run
+// for every worker count.
 func RandomizedLocalSearch(inst *Instance, opts LocalSearchOptions) *Plan {
 	opts = opts.withDefaults()
-	r := rng.New(opts.Seed)
+	results := runRestarts(inst, opts)
 
-	best := SynchronousGreedy(NewPlan(inst))
-	localSearch(best, opts)
+	best := results[0] // greedy-initialized incumbent
 	totalEvals := best.Evals()
-
-	for iter := 0; iter < opts.Restarts; iter++ {
-		cand := NewPlan(inst)
-		seedRandomPlan(cand, r.Derive(fmt.Sprintf("restart-%d", iter)))
-		SynchronousGreedy(cand)
-		localSearch(cand, opts)
+	for _, cand := range results[1:] {
 		totalEvals += cand.Evals()
 		if cand.TotalRegret() < best.TotalRegret() {
 			best = cand
@@ -198,6 +206,10 @@ func BillboardLocalSearch(p *Plan, opts LocalSearchOptions) int {
 	inst := p.inst
 	n := inst.NumAdvertisers()
 	accepted := 0
+	// Scratch buffers reused across every sweep: the member/free lists the
+	// moves enumerate (refilled in place, allocation-free after the first
+	// pass) and the trial plan of move (4), copied instead of cloned.
+	var s blsScratch
 
 	for pass := 0; pass < opts.MaxPasses; pass++ {
 		improved := false
@@ -205,7 +217,7 @@ func BillboardLocalSearch(p *Plan, opts LocalSearchOptions) int {
 		// Move (1): pairwise billboard exchange between advertisers.
 		for i := 0; i < n; i++ {
 			for j := i + 1; j < n; j++ {
-				if tryExchangeMove(p, i, j, opts) {
+				if tryExchangeMove(p, i, j, opts, &s) {
 					accepted++
 					improved = true
 				}
@@ -213,14 +225,14 @@ func BillboardLocalSearch(p *Plan, opts LocalSearchOptions) int {
 		}
 		// Move (2): replace an assigned billboard with an unassigned one.
 		for i := 0; i < n; i++ {
-			if tryReplaceMove(p, i, opts) {
+			if tryReplaceMove(p, i, opts, &s) {
 				accepted++
 				improved = true
 			}
 		}
 		// Move (3): release an assigned billboard.
 		for i := 0; i < n; i++ {
-			if tryReleaseMove(p, i, opts) {
+			if tryReleaseMove(p, i, opts, &s) {
 				accepted++
 				improved = true
 			}
@@ -228,11 +240,15 @@ func BillboardLocalSearch(p *Plan, opts LocalSearchOptions) int {
 		// Move (4): allocate unassigned billboards via the synchronous
 		// greedy; keep only if it improves (Lines 5.11-5.13).
 		before := p.TotalRegret()
-		trial := p.Clone()
-		SynchronousGreedy(trial)
-		p.AddEvals(trial.Evals() - p.Evals())
-		if trial.TotalRegret() < before-opts.threshold(before) {
-			p.CopyFrom(trial)
+		if s.trial == nil {
+			s.trial = p.Clone()
+		} else {
+			s.trial.CopyFrom(p)
+		}
+		SynchronousGreedy(s.trial)
+		p.AddEvals(s.trial.Evals() - p.Evals())
+		if s.trial.TotalRegret() < before-opts.threshold(before) {
+			p.CopyFrom(s.trial)
 			accepted++
 			improved = true
 		}
@@ -244,14 +260,23 @@ func BillboardLocalSearch(p *Plan, opts LocalSearchOptions) int {
 	return accepted
 }
 
+// blsScratch holds the buffers one BillboardLocalSearch invocation reuses
+// across sweeps: candidate lists for the three point moves and the greedy
+// trial plan of move (4).
+type blsScratch struct {
+	si, sj []int
+	free   []int
+	trial  *Plan
+}
+
 // tryExchangeMove searches S_i × S_j for one accepted billboard exchange
 // (first improvement) and applies it. Reports whether a move was accepted.
-func tryExchangeMove(p *Plan, i, j int, opts LocalSearchOptions) bool {
+func tryExchangeMove(p *Plan, i, j int, opts LocalSearchOptions, s *blsScratch) bool {
 	inst := p.inst
-	si := p.Set(i, nil)
-	sj := p.Set(j, nil)
-	for _, bm := range si {
-		for _, bn := range sj {
+	s.si = p.Set(i, s.si[:0])
+	s.sj = p.Set(j, s.sj[:0])
+	for _, bm := range s.si {
+		for _, bn := range s.sj {
 			cur := p.Regret(i) + p.Regret(j)
 			di := p.SwapDeltaOf(i, bm, bn)
 			dj := p.SwapDeltaOf(j, bn, bm)
@@ -267,12 +292,12 @@ func tryExchangeMove(p *Plan, i, j int, opts LocalSearchOptions) bool {
 
 // tryReplaceMove searches S_i × unassigned for one accepted replacement and
 // applies it. Reports whether a move was accepted.
-func tryReplaceMove(p *Plan, i int, opts LocalSearchOptions) bool {
+func tryReplaceMove(p *Plan, i int, opts LocalSearchOptions, s *blsScratch) bool {
 	inst := p.inst
-	si := p.Set(i, nil)
-	free := p.UnassignedBillboards(nil)
-	for _, bm := range si {
-		for _, bn := range free {
+	s.si = p.Set(i, s.si[:0])
+	s.free = p.UnassignedBillboards(s.free[:0])
+	for _, bm := range s.si {
+		for _, bn := range s.free {
 			cur := p.Regret(i)
 			di := p.SwapDeltaOf(i, bm, bn)
 			next := inst.Regret(i, p.Influence(i)+di)
@@ -287,9 +312,10 @@ func tryReplaceMove(p *Plan, i int, opts LocalSearchOptions) bool {
 
 // tryReleaseMove searches S_i for one accepted release and applies it.
 // Reports whether a move was accepted.
-func tryReleaseMove(p *Plan, i int, opts LocalSearchOptions) bool {
+func tryReleaseMove(p *Plan, i int, opts LocalSearchOptions, s *blsScratch) bool {
 	inst := p.inst
-	for _, bm := range p.Set(i, nil) {
+	s.si = p.Set(i, s.si[:0])
+	for _, bm := range s.si {
 		cur := p.Regret(i)
 		loss := p.LossOf(i, bm)
 		next := inst.Regret(i, p.Influence(i)-loss)

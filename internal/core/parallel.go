@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rng"
+)
+
+// This file implements the parallel restart engine behind
+// RandomizedLocalSearch (Algorithm 3). The framework's outer loop is
+// embarrassingly parallel: the greedy initialization and every restart
+// iteration build their own Plan from scratch, read only the immutable
+// Instance/Universe, and draw randomness from a named substream
+// (rng.Derive("restart-i")) that depends solely on the seed and the restart
+// index — never on execution order. Each worker therefore owns its scratch
+// state outright, results land in a slot indexed by iteration, and the
+// caller reduces them serially in iteration order, which makes the selected
+// plan, its total regret and the aggregated Evals counter bit-identical to
+// the serial run for any worker count.
+
+// runRestarts executes the greedy initialization (slot 0) and the
+// opts.Restarts restart iterations (slots 1..Restarts) of Algorithm 3 on
+// min(opts.Workers, iterations) goroutines and returns the per-iteration
+// plans. opts must already have defaults applied; Workers < 1 selects
+// runtime.GOMAXPROCS(0).
+func runRestarts(inst *Instance, opts LocalSearchOptions) []*Plan {
+	jobs := opts.Restarts + 1
+	workers := opts.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+
+	// The root generator is never advanced: Derive only reads its state,
+	// so concurrent derivation by the workers is safe and yields the same
+	// substreams the serial loop would.
+	root := rng.New(opts.Seed)
+	results := make([]*Plan, jobs)
+	run := func(job int) {
+		if job == 0 {
+			p := SynchronousGreedy(NewPlan(inst))
+			localSearch(p, opts)
+			results[0] = p
+			return
+		}
+		iter := job - 1
+		cand := NewPlan(inst)
+		seedRandomPlan(cand, root.Derive(fmt.Sprintf("restart-%d", iter)))
+		SynchronousGreedy(cand)
+		localSearch(cand, opts)
+		results[job] = cand
+	}
+
+	if workers == 1 {
+		for job := 0; job < jobs; job++ {
+			run(job)
+		}
+		return results
+	}
+
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				job := int(next.Add(1))
+				if job >= jobs {
+					return
+				}
+				run(job)
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}

@@ -25,6 +25,7 @@ type Plan struct {
 	regrets  []float64           // cached R(S_i)
 	owner    []int               // billboard -> advertiser index or Unassigned
 	evals    int64               // marginal-evaluation counter (work measure)
+	cache    *gainCache          // lazy-greedy selection state (gaincache.go)
 }
 
 // NewPlan returns the empty plan (every billboard unassigned) for the
@@ -153,6 +154,10 @@ func (p *Plan) Release(b int) {
 	p.counters[i].Remove(b)
 	p.evals++
 	p.refreshRegret(i)
+	// S_i shrank, so i's cached gain upper bounds are no longer bounds;
+	// the freed billboard re-enters the other advertisers' heaps.
+	p.invalidateGainCache(i)
+	p.gainCacheOnRelease(b)
 }
 
 // ReleaseAll returns every billboard of advertiser i to the unassigned pool
@@ -204,6 +209,9 @@ func (p *Plan) ExchangeSets(i, j int) {
 	p.evals++
 	p.refreshRegret(i)
 	p.refreshRegret(j)
+	// Both sets changed wholesale; their gain bounds are meaningless now.
+	p.invalidateGainCache(i)
+	p.invalidateGainCache(j)
 }
 
 // ExchangeBillboards swaps billboard bi (owned by advertiser i) with
@@ -250,18 +258,22 @@ func (p *Plan) Clone() *Plan {
 }
 
 // CopyFrom overwrites this plan's state with src's (both must be plans of
-// the same instance). It avoids the allocations of Clone when a scratch
-// plan is reused across local-search restarts.
+// the same instance). It reuses the destination's counter storage, so a
+// scratch plan copied once per local-search sweep allocates nothing.
 func (p *Plan) CopyFrom(src *Plan) {
 	if p.inst != src.inst {
 		panic("core: CopyFrom across instances")
 	}
+	if p == src {
+		return
+	}
 	for i := range p.counters {
-		p.counters[i] = src.counters[i].Clone()
+		p.counters[i].CopyFrom(src.counters[i])
 	}
 	copy(p.regrets, src.regrets)
 	copy(p.owner, src.owner)
 	p.evals = src.evals
+	p.invalidateAllGainCaches()
 }
 
 // Validate checks the structural invariants: the owner table matches the

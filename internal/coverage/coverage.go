@@ -52,6 +52,7 @@ func (l List) Contains(id int32) bool {
 type Universe struct {
 	numTrajectories int
 	lists           []List
+	maxDegree       int
 }
 
 // NewUniverse constructs a Universe over numTrajectories trajectories with
@@ -71,7 +72,13 @@ func NewUniverse(numTrajectories int, lists []List) (*Universe, error) {
 			}
 		}
 	}
-	return &Universe{numTrajectories: numTrajectories, lists: lists}, nil
+	maxDeg := 0
+	for _, l := range lists {
+		if len(l) > maxDeg {
+			maxDeg = len(l)
+		}
+	}
+	return &Universe{numTrajectories: numTrajectories, lists: lists, maxDegree: maxDeg}, nil
 }
 
 // MustUniverse is NewUniverse that panics on error, for tests and generators
@@ -97,6 +104,11 @@ func (u *Universe) List(b int) List { return u.lists[b] }
 // Degree returns |cover(b)|, the number of trajectories billboard b covers.
 // This is I({b}), the influence of the single billboard.
 func (u *Universe) Degree(b int) int { return len(u.lists[b]) }
+
+// MaxDegree returns the largest single-billboard influence max_o I({o}),
+// precomputed at construction. The lazy-greedy selection uses it to decide
+// whether any billboard could cross an advertiser's remaining demand.
+func (u *Universe) MaxDegree() int { return u.maxDegree }
 
 // TotalSupply returns I* = Σ_o I({o}), the host's supply as defined for the
 // demand-supply ratio α (§7.1.3). Note this sums individual influences and
@@ -255,8 +267,10 @@ func (c *Counter) Loss(b int) int {
 }
 
 // SwapDelta returns I((S \ {out}) ∪ {in}) − I(S) without mutating the set.
-// out must be a member and in must not be. Cost O(deg(out) + deg(in)·log
-// deg(out)).
+// out must be a member and in must not be. The two sorted coverage lists
+// are walked in a single linear merge, so the cost is
+// O(deg(out) + deg(in)) — trajectories covered by both billboards keep
+// their impression count and are skipped.
 func (c *Counter) SwapDelta(out, in int) int {
 	if !c.member[out] {
 		panic(fmt.Sprintf("coverage: SwapDelta(out=%d): not a member", out))
@@ -267,16 +281,25 @@ func (c *Counter) SwapDelta(out, in int) int {
 	outList := c.u.lists[out]
 	inList := c.u.lists[in]
 	delta := 0
-	// Trajectories losing an impression (covered by out but not in).
-	for _, t := range outList {
-		if c.counts[t] == c.k && !inList.Contains(t) {
-			delta--
-		}
-	}
-	// Trajectories gaining an impression (covered by in but not out).
-	for _, t := range inList {
-		if c.counts[t] == c.k-1 && !outList.Contains(t) {
-			delta++
+	i, j := 0, 0
+	for i < len(outList) || j < len(inList) {
+		switch {
+		case j == len(inList) || (i < len(outList) && outList[i] < inList[j]):
+			// Covered by out only: loses an impression.
+			if c.counts[outList[i]] == c.k {
+				delta--
+			}
+			i++
+		case i == len(outList) || inList[j] < outList[i]:
+			// Covered by in only: gains an impression.
+			if c.counts[inList[j]] == c.k-1 {
+				delta++
+			}
+			j++
+		default:
+			// Covered by both: impression count unchanged.
+			i++
+			j++
 		}
 	}
 	return delta
@@ -289,6 +312,23 @@ func (c *Counter) Reset() {
 			c.Remove(b)
 		}
 	}
+}
+
+// CopyFrom overwrites this counter's state with src's, reusing the existing
+// storage. Both counters must share the same universe and threshold; this
+// is the allocation-free alternative to Clone for scratch counters reused
+// across local-search sweeps.
+func (c *Counter) CopyFrom(src *Counter) {
+	if c.u != src.u || c.k != src.k {
+		panic("coverage: CopyFrom across universes or thresholds")
+	}
+	if c == src {
+		return
+	}
+	copy(c.counts, src.counts)
+	copy(c.member, src.member)
+	c.covered = src.covered
+	c.size = src.size
 }
 
 // Clone returns an independent copy of the counter state.

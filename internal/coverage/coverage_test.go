@@ -381,3 +381,75 @@ func BenchmarkUnionCount(b *testing.B) {
 		_ = u.UnionCount(set)
 	}
 }
+
+// swapDeltaBinarySearch is the previous SwapDelta implementation (binary
+// searching each list for membership in the other), kept as the reference
+// for the linear merge walk that replaced it.
+func swapDeltaBinarySearch(c *Counter, out, in int) int {
+	outList := c.u.lists[out]
+	inList := c.u.lists[in]
+	delta := 0
+	for _, t := range outList {
+		if c.counts[t] == c.k && !inList.Contains(t) {
+			delta--
+		}
+	}
+	for _, t := range inList {
+		if c.counts[t] == c.k-1 && !outList.Contains(t) {
+			delta++
+		}
+	}
+	return delta
+}
+
+// TestSwapDeltaMergeMatchesBinarySearch: the merge-walk SwapDelta must
+// agree with the old binary-search implementation on random universes,
+// member sets and swap pairs, for thresholds k=1 and k=2.
+func TestSwapDeltaMergeMatchesBinarySearch(t *testing.T) {
+	r := rng.New(20240805)
+	for trial := 0; trial < 40; trial++ {
+		u := randomUniverse(r, 50+r.Intn(300), 4+r.Intn(30), 1+r.Intn(60))
+		k := 1 + trial%2
+		c := NewCounterWithThreshold(u, k)
+		var members []int
+		for b := 0; b < u.NumBillboards(); b++ {
+			if r.Float64() < 0.4 {
+				c.Add(b)
+				members = append(members, b)
+			}
+		}
+		if len(members) == 0 || len(members) == u.NumBillboards() {
+			continue
+		}
+		for probe := 0; probe < 20; probe++ {
+			out := members[r.Intn(len(members))]
+			in := r.Intn(u.NumBillboards())
+			if c.Has(in) {
+				continue
+			}
+			got := c.SwapDelta(out, in)
+			want := swapDeltaBinarySearch(c, out, in)
+			if got != want {
+				t.Fatalf("trial %d k=%d swap(%d,%d): merge %d, binary search %d",
+					trial, k, out, in, got, want)
+			}
+		}
+	}
+}
+
+func BenchmarkSwapDelta(b *testing.B) {
+	r := rng.New(1)
+	u := randomUniverse(r, 50000, 500, 400)
+	c := NewCounter(u)
+	for i := 0; i < 50; i++ {
+		c.Add(i * 7 % u.NumBillboards())
+	}
+	out := 0 * 7 % u.NumBillboards()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := i % u.NumBillboards()
+		if !c.Has(in) {
+			_ = c.SwapDelta(out, in)
+		}
+	}
+}

@@ -122,6 +122,14 @@ func Algorithms(seed uint64, restarts int) []Algorithm {
 	return core.PaperAlgorithms(seed, restarts)
 }
 
+// AlgorithmsOpts is Algorithms with full control over the local search
+// options — most usefully SearchOptions.Workers, which fans the restart
+// loop of ALS and BLS out over a goroutine pool while returning results
+// bit-identical to the serial run.
+func AlgorithmsOpts(opts SearchOptions) []Algorithm {
+	return core.PaperAlgorithmsOpts(opts)
+}
+
 // GenerateNYC generates the synthetic Manhattan-like taxi dataset at the
 // given fraction of the default scale (1.0 = 40k trips, 400 billboards).
 func GenerateNYC(seed uint64, scale float64) (*Dataset, error) {
