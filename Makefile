@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet fmt bench repro examples clean
+.PHONY: all build test test-race vet fmt bench repro examples clean check fuzz-smoke
 
 all: build test
+
+# The full pre-merge gate: build, vet, the race-detector suite, and a
+# short smoke run of every fuzz target.
+check: build vet test-race fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -15,6 +19,12 @@ test:
 # The parallel restart engine must stay race-clean at any worker count.
 test-race:
 	$(GO) test -race ./...
+
+# Run each native fuzz target for 10s against its checked-in seed corpus
+# (go test accepts one -fuzz pattern per package invocation).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzPlanRoundTrip$$' -fuzztime 10s ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzSwapDeltaMerge$$' -fuzztime 10s ./internal/coverage
 
 vet:
 	$(GO) vet ./...

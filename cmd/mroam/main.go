@@ -13,6 +13,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -30,10 +31,21 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	err := run(os.Args[1:], os.Stdout)
+	if err != nil && !errors.Is(err, flag.ErrHelp) {
 		fmt.Fprintln(os.Stderr, "mroam:", err)
-		os.Exit(1)
 	}
+	os.Exit(exitCode(err))
+}
+
+// exitCode maps run's outcome to the process exit status. -h/-help on any
+// subcommand surfaces as flag.ErrHelp and is a successful exit (the user
+// asked for the usage text and got it); every other error is a failure.
+func exitCode(err error) int {
+	if err == nil || errors.Is(err, flag.ErrHelp) {
+		return 0
+	}
+	return 1
 }
 
 func run(args []string, out io.Writer) error {
@@ -92,6 +104,7 @@ func parseCity(s string) (dataset.City, error) {
 
 func cmdGen(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	fs.SetOutput(out)
 	city := fs.String("city", "NYC", "city to generate (NYC or SG)")
 	scale := fs.Float64("scale", 1.0, "fraction of the default dataset scale")
 	seed := fs.Uint64("seed", 42, "generator seed")
@@ -127,6 +140,7 @@ func cmdGen(args []string, out io.Writer) error {
 
 func cmdStats(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	fs.SetOutput(out)
 	scale := fs.Float64("scale", 0.25, "fraction of the default dataset scale")
 	seed := fs.Uint64("seed", 42, "generator seed")
 	if err := fs.Parse(args); err != nil {
@@ -170,6 +184,7 @@ func cmdStats(args []string, out io.Writer) error {
 
 func cmdSolve(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("solve", flag.ContinueOnError)
+	fs.SetOutput(out)
 	city := fs.String("city", "NYC", "city (NYC or SG); ignored when -data is set")
 	data := fs.String("data", "", "load a saved dataset directory instead of generating")
 	scale := fs.Float64("scale", 0.25, "fraction of the default dataset scale")
@@ -237,6 +252,7 @@ func cmdSolve(args []string, out io.Writer) error {
 
 func cmdExp(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("exp", flag.ContinueOnError)
+	fs.SetOutput(out)
 	figNum := fs.Int("fig", 0, "figure number to regenerate (2-12)")
 	all := fs.Bool("all", false, "regenerate every figure")
 	scale := fs.Float64("scale", 0.25, "fraction of the default dataset scale")
@@ -314,6 +330,7 @@ func cmdExp(args []string, out io.Writer) error {
 
 func cmdSim(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sim", flag.ContinueOnError)
+	fs.SetOutput(out)
 	city := fs.String("city", "NYC", "city (NYC or SG)")
 	scale := fs.Float64("scale", 0.12, "fraction of the default dataset scale")
 	seed := fs.Uint64("seed", 42, "seed")
@@ -371,6 +388,7 @@ func cmdSim(args []string, out io.Writer) error {
 
 func cmdGap(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("gap", flag.ContinueOnError)
+	fs.SetOutput(out)
 	instances := fs.Int("instances", 20, "number of random small instances")
 	billboards := fs.Int("billboards", 8, "billboards per instance (exact-solvable)")
 	advertisers := fs.Int("advertisers", 2, "advertisers per instance")
@@ -407,6 +425,7 @@ func cmdGap(args []string, out io.Writer) error {
 
 func cmdPlan(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("plan", flag.ContinueOnError)
+	fs.SetOutput(out)
 	city := fs.String("city", "NYC", "city (NYC or SG)")
 	scale := fs.Float64("scale", 0.12, "fraction of the default dataset scale")
 	seed := fs.Uint64("seed", 42, "seed")

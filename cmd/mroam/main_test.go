@@ -1,6 +1,8 @@
 package main
 
 import (
+	"errors"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
@@ -86,6 +88,43 @@ func TestSolveBadAlgorithm(t *testing.T) {
 	err := run([]string{"solve", "-scale", "0.02", "-alg", "Simplex"}, &sb)
 	if err == nil {
 		t.Fatal("bad algorithm accepted")
+	}
+	// The error must name the valid choices and map to a failing exit.
+	for _, want := range []string{"Simplex", "G-Order", "G-Global", "ALS", "BLS"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-algorithm error %q missing %q", err, want)
+		}
+	}
+	if exitCode(err) != 1 {
+		t.Errorf("exitCode(%v) = %d, want 1", err, exitCode(err))
+	}
+}
+
+// TestExitCodes pins the process exit status contract: asking for help is
+// a success, every real error a failure.
+func TestExitCodes(t *testing.T) {
+	if got := exitCode(nil); got != 0 {
+		t.Errorf("exitCode(nil) = %d, want 0", got)
+	}
+	// -h on a subcommand surfaces flag.ErrHelp and must exit 0, with the
+	// usage text on the subcommand's output.
+	var sb strings.Builder
+	err := run([]string{"solve", "-h"}, &sb)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("solve -h returned %v, want flag.ErrHelp", err)
+	}
+	if got := exitCode(err); got != 0 {
+		t.Errorf("exitCode(solve -h) = %d, want 0", got)
+	}
+	if !strings.Contains(sb.String(), "-alg") {
+		t.Errorf("solve -h did not print flag usage:\n%s", sb.String())
+	}
+	// Unknown subcommands and flag typos are failures.
+	if err := run([]string{"frobnicate"}, &strings.Builder{}); exitCode(err) != 1 {
+		t.Errorf("exitCode(unknown subcommand) = %d, want 1", exitCode(err))
+	}
+	if err := run([]string{"solve", "-no-such-flag"}, &strings.Builder{}); exitCode(err) != 1 {
+		t.Errorf("exitCode(bad flag) = %d, want 1", exitCode(err))
 	}
 }
 

@@ -1,0 +1,155 @@
+// Command mroamd serves MROAM solves over HTTP: it loads (or generates) one
+// instance at startup and answers POST /solve requests with per-request
+// algorithm and deadline selection on top of the anytime solve engine.
+//
+// Usage:
+//
+//	mroamd -addr :8080 -city NYC -scale 0.25 -seed 42
+//	mroamd -addr :8080 -data data/nyc -workers 4 -queue 8
+//
+//	curl -s localhost:8080/solve -d '{"algorithm":"BLS","restarts":5,"deadline_ms":100}'
+//	curl -s localhost:8080/stats
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, queued
+// and in-flight solves drain (bounded by -drain), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/market"
+	"repro/internal/rng"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, "mroamd:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags, builds the instance and serves until a signal arrives.
+// ready, when non-nil, receives the bound address once the listener is up
+// (tests use it); the returned error is nil on a clean drained shutdown.
+func run(args []string, out io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("mroamd", flag.ContinueOnError)
+	fs.SetOutput(out)
+	addr := fs.String("addr", ":8080", "listen address")
+	city := fs.String("city", "NYC", "city to generate (NYC or SG); ignored when -data is set")
+	data := fs.String("data", "", "load a saved dataset directory instead of generating")
+	scale := fs.Float64("scale", 0.25, "fraction of the default dataset scale")
+	seed := fs.Uint64("seed", 42, "seed for dataset and market generation")
+	alpha := fs.Float64("alpha", market.DefaultAlpha, "demand-supply ratio α")
+	p := fs.Float64("p", market.DefaultP, "average-individual demand ratio p")
+	gamma := fs.Float64("gamma", market.DefaultGamma, "unsatisfied penalty ratio γ")
+	lambda := fs.Float64("lambda", market.DefaultLambda, "influence radius λ in meters")
+	workers := fs.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", -1, "queued requests beyond the workers (-1 = 2×workers); overflow answers 429")
+	defaultDeadline := fs.Duration("default-deadline", 0, "deadline applied when a request omits deadline_ms (0 = none)")
+	maxDeadline := fs.Duration("max-deadline", 5*time.Minute, "cap on per-request deadlines (0 = none)")
+	maxRestarts := fs.Int("max-restarts", server.DefaultMaxRestarts, "cap on per-request restart budgets")
+	drain := fs.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight solves")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	inst, err := buildInstance(*city, *data, *scale, *seed, *alpha, *p, *gamma, *lambda)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{
+		Instance:        inst,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		DefaultDeadline: *defaultDeadline,
+		MaxDeadline:     *maxDeadline,
+		MaxRestarts:     *maxRestarts,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	// The listener is live as soon as net.Listen returns (connections queue
+	// in the accept backlog), so the banner and readiness signal happen
+	// here, on the same goroutine as the shutdown log below — out need not
+	// be safe for concurrent writes.
+	fmt.Fprintf(out, "mroamd: serving %d billboards / %d advertisers on %s\n",
+		inst.Universe().NumBillboards(), inst.NumAdvertisers(), ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err // listener failed before any signal
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(out, "mroamd: shutting down, draining in-flight solves")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	return nil
+}
+
+// buildInstance loads or generates the dataset and derives the market the
+// daemon serves, mirroring `mroam solve`'s instance construction.
+func buildInstance(city, data string, scale float64, seed uint64, alpha, p, gamma, lambda float64) (*core.Instance, error) {
+	var d *dataset.Dataset
+	var err error
+	if data != "" {
+		d, err = dataset.Load(data)
+	} else {
+		var cfg dataset.Config
+		switch strings.ToUpper(city) {
+		case "NYC":
+			cfg = dataset.DefaultNYC(seed)
+		case "SG":
+			cfg = dataset.DefaultSG(seed)
+		default:
+			return nil, fmt.Errorf("unknown city %q (want NYC or SG)", city)
+		}
+		d, err = dataset.Generate(cfg.Scale(scale))
+	}
+	if err != nil {
+		return nil, err
+	}
+	u, err := d.BuildUniverse(lambda)
+	if err != nil {
+		return nil, err
+	}
+	return market.NewInstance(u, market.Config{Alpha: alpha, P: p}, gamma,
+		rng.New(seed).Derive("market"))
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestBuildInstance(t *testing.T) {
+	inst, err := buildInstance("NYC", "", 0.02, 42, 2.0, 0.02, 0.5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Universe().NumBillboards() == 0 || inst.NumAdvertisers() == 0 {
+		t.Fatalf("empty instance: %d billboards, %d advertisers",
+			inst.Universe().NumBillboards(), inst.NumAdvertisers())
+	}
+	if _, err := buildInstance("Atlantis", "", 0.02, 42, 2.0, 0.02, 0.5, 100); err == nil {
+		t.Error("unknown city accepted")
+	}
+	if _, err := buildInstance("NYC", "/nonexistent/dataset", 0.02, 42, 2.0, 0.02, 0.5, 100); err == nil {
+		t.Error("missing dataset directory accepted")
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &buf, nil); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-city", "Atlantis"}, &buf, nil); err == nil {
+		t.Error("unknown city accepted")
+	}
+	if err := run([]string{"-addr", "not-an-address", "-scale", "0.02"}, &buf, nil); err == nil {
+		t.Error("unlistenable address accepted")
+	}
+}
+
+// TestRunServesAndDrainsOnSIGTERM boots the daemon on an ephemeral port,
+// solves over HTTP, then delivers a real SIGTERM and expects a clean drain.
+func TestRunServesAndDrainsOnSIGTERM(t *testing.T) {
+	var buf bytes.Buffer
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-scale", "0.02", "-workers", "2"}, &buf, ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("run exited before serving: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never came up")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(base+"/solve", "application/json",
+		strings.NewReader(`{"algorithm":"BLS","restarts":2,"seed":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: %d: %s", resp.StatusCode, body)
+	}
+	var solved struct {
+		TotalRegret       float64 `json:"total_regret"`
+		RestartsCompleted int     `json:"restarts_completed"`
+		Truncated         bool    `json:"truncated"`
+	}
+	if err := json.Unmarshal(body, &solved); err != nil {
+		t.Fatalf("decode %s: %v", body, err)
+	}
+	if solved.TotalRegret < 0 || solved.RestartsCompleted != 2 || solved.Truncated {
+		t.Errorf("suspicious solve response: %s", body)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM, want nil (clean drain)", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never drained after SIGTERM")
+	}
+	if out := buf.String(); !strings.Contains(out, "draining") {
+		t.Errorf("missing drain log line in output:\n%s", out)
+	}
+}

@@ -1,14 +1,31 @@
 package core
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+	"strings"
+)
 
 // Algorithm is a named MROAM solver. The four methods compared in the
-// paper's evaluation all implement it.
+// paper's evaluation all implement it (and all four also implement
+// AnytimeAlgorithm, the cancellable form — see anytime.go).
 type Algorithm interface {
 	// Name returns the method name as used in the paper's figures.
 	Name() string
 	// Solve computes a deployment plan for the instance.
 	Solve(inst *Instance) *Plan
+}
+
+// greedyAnytime packages a ctx-bounded greedy run as an Anytime result.
+// The greedy algorithms have no restart loop, so both restart counters
+// stay 0 and Truncated simply reports whether the greedy converged.
+func greedyAnytime(p *Plan, completed bool) *Anytime {
+	return &Anytime{
+		Plan:        p,
+		TotalRegret: p.TotalRegret(),
+		Truncated:   !completed,
+		Evals:       p.Evals(),
+	}
 }
 
 // GOrderAlgorithm is the budget-effective greedy, "G-Order" in the figures.
@@ -20,6 +37,11 @@ func (GOrderAlgorithm) Name() string { return "G-Order" }
 // Solve implements Algorithm.
 func (GOrderAlgorithm) Solve(inst *Instance) *Plan { return GreedyOrder(inst) }
 
+// SolveCtx implements AnytimeAlgorithm.
+func (GOrderAlgorithm) SolveCtx(ctx context.Context, inst *Instance) *Anytime {
+	return greedyAnytime(GreedyOrderCtx(ctx, inst))
+}
+
 // GGlobalAlgorithm is the synchronous greedy, "G-Global" in the figures.
 type GGlobalAlgorithm struct{}
 
@@ -28,6 +50,13 @@ func (GGlobalAlgorithm) Name() string { return "G-Global" }
 
 // Solve implements Algorithm.
 func (GGlobalAlgorithm) Solve(inst *Instance) *Plan { return GGlobal(inst) }
+
+// SolveCtx implements AnytimeAlgorithm.
+func (GGlobalAlgorithm) SolveCtx(ctx context.Context, inst *Instance) *Anytime {
+	p := NewPlan(inst)
+	completed := SynchronousGreedyCtx(ctx, p)
+	return greedyAnytime(p, completed)
+}
 
 // ALSAlgorithm is the randomized local search framework with the
 // advertiser-driven neighborhood, "ALS" in the figures.
@@ -45,6 +74,13 @@ func (a ALSAlgorithm) Solve(inst *Instance) *Plan {
 	return RandomizedLocalSearch(inst, opts)
 }
 
+// SolveCtx implements AnytimeAlgorithm.
+func (a ALSAlgorithm) SolveCtx(ctx context.Context, inst *Instance) *Anytime {
+	opts := a.Opts
+	opts.Search = AdvertiserDriven
+	return RandomizedLocalSearchCtx(ctx, inst, opts)
+}
+
 // BLSAlgorithm is the randomized local search framework with the
 // billboard-driven neighborhood, "BLS" in the figures.
 type BLSAlgorithm struct {
@@ -59,6 +95,13 @@ func (b BLSAlgorithm) Solve(inst *Instance) *Plan {
 	opts := b.Opts
 	opts.Search = BillboardDriven
 	return RandomizedLocalSearch(inst, opts)
+}
+
+// SolveCtx implements AnytimeAlgorithm.
+func (b BLSAlgorithm) SolveCtx(ctx context.Context, inst *Instance) *Anytime {
+	opts := b.Opts
+	opts.Search = BillboardDriven
+	return RandomizedLocalSearchCtx(ctx, inst, opts)
 }
 
 // PaperAlgorithms returns the four methods of the evaluation section in the
@@ -88,10 +131,15 @@ func AlgorithmByName(name string, seed uint64, restarts int) (Algorithm, error) 
 // AlgorithmByNameOpts is AlgorithmByName with full control over the local
 // search options.
 func AlgorithmByNameOpts(name string, opts LocalSearchOptions) (Algorithm, error) {
-	for _, a := range PaperAlgorithmsOpts(opts) {
+	all := PaperAlgorithmsOpts(opts)
+	for _, a := range all {
 		if a.Name() == name {
 			return a, nil
 		}
 	}
-	return nil, fmt.Errorf("core: unknown algorithm %q", name)
+	names := make([]string, len(all))
+	for i, a := range all {
+		names[i] = a.Name()
+	}
+	return nil, fmt.Errorf("core: unknown algorithm %q (want one of %s)", name, strings.Join(names, ", "))
 }

@@ -1,6 +1,9 @@
 package core
 
-import "sort"
+import (
+	"context"
+	"sort"
+)
 
 // This file implements the two greedy heuristics of Section 5:
 // G-Order (Algorithm 1, budget-effective greedy) and G-Global (Algorithm 2,
@@ -76,9 +79,23 @@ func byBudgetEffectiveness(inst *Instance) []int {
 // that maximize regret reduction per unit influence until satisfied or the
 // inventory runs out.
 func GreedyOrder(inst *Instance) *Plan {
-	p := NewPlan(inst)
+	p, _ := greedyOrder(nil, inst)
+	return p
+}
+
+// GreedyOrderCtx is GreedyOrder under a context: if ctx fires mid-build the
+// partially assigned plan (structurally valid) is returned with ok=false.
+func GreedyOrderCtx(ctx context.Context, inst *Instance) (p *Plan, completed bool) {
+	return greedyOrder(ctxDone(ctx), inst)
+}
+
+func greedyOrder(done <-chan struct{}, inst *Instance) (p *Plan, completed bool) {
+	p = NewPlan(inst)
 	for _, i := range byBudgetEffectiveness(inst) {
 		for !p.Satisfied(i) {
+			if cancelled(done) {
+				return p, false
+			}
 			b, ok := bestBillboardFor(p, i)
 			if !ok {
 				break
@@ -86,7 +103,7 @@ func GreedyOrder(inst *Instance) *Plan {
 			p.Assign(b, i)
 		}
 	}
-	return p
+	return p, true
 }
 
 // SynchronousGreedy is Algorithm 2 (G-Global): it assigns one
@@ -101,6 +118,18 @@ func GreedyOrder(inst *Instance) *Plan {
 // pseudo-code, which is non-empty when this routine is invoked from the
 // local search framework) and returned for convenience.
 func SynchronousGreedy(p *Plan) *Plan {
+	synchronousGreedyDone(nil, p)
+	return p
+}
+
+// SynchronousGreedyCtx is SynchronousGreedy under a context: it reports
+// whether the greedy ran to convergence before ctx fired. On cancellation
+// the plan is left in its current (structurally valid) intermediate state.
+func SynchronousGreedyCtx(ctx context.Context, p *Plan) (completed bool) {
+	return synchronousGreedyDone(ctxDone(ctx), p)
+}
+
+func synchronousGreedyDone(done <-chan struct{}, p *Plan) (completed bool) {
 	inst := p.inst
 	active := make([]bool, inst.NumAdvertisers())
 	for i := range active {
@@ -112,6 +141,9 @@ func SynchronousGreedy(p *Plan) *Plan {
 		for i := range active {
 			if !active[i] || p.Satisfied(i) {
 				continue
+			}
+			if cancelled(done) {
+				return false
 			}
 			b, ok := bestBillboardFor(p, i)
 			if !ok {
@@ -128,11 +160,11 @@ func SynchronousGreedy(p *Plan) *Plan {
 			}
 		}
 		if unsat == 0 {
-			return p
+			return true
 		}
 		if exhausted && !assignedAny {
 			if unsat < 2 {
-				return p
+				return true
 			}
 			// Release the least budget-effective unsatisfied advertiser
 			// and retire it from the active set (Lines 2.9-2.11).

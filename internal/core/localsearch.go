@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/rng"
@@ -110,20 +111,12 @@ func (o LocalSearchOptions) threshold(current float64) float64 {
 // earlier restart, evals summed over all iterations — happens serially in
 // restart order afterwards, so the result is bit-identical to a serial run
 // for every worker count.
+//
+// RandomizedLocalSearchCtx (anytime.go) is the cancellable, deadline-aware
+// form; this entry point is exactly that run under a context that never
+// fires.
 func RandomizedLocalSearch(inst *Instance, opts LocalSearchOptions) *Plan {
-	opts = opts.withDefaults()
-	results := runRestarts(inst, opts)
-
-	best := results[0] // greedy-initialized incumbent
-	totalEvals := best.Evals()
-	for _, cand := range results[1:] {
-		totalEvals += cand.Evals()
-		if cand.TotalRegret() < best.TotalRegret() {
-			best = cand
-		}
-	}
-	best.AddEvals(totalEvals - best.Evals())
-	return best
+	return RandomizedLocalSearchCtx(context.Background(), inst, opts).Plan
 }
 
 // seedRandomPlan assigns one random distinct billboard to every advertiser
@@ -138,14 +131,17 @@ func seedRandomPlan(p *Plan, r *rng.RNG) {
 	}
 }
 
-// localSearch dispatches to the selected neighborhood strategy, improving p
-// in place.
-func localSearch(p *Plan, opts LocalSearchOptions) {
+// localSearchDone dispatches to the selected neighborhood strategy,
+// improving p in place. It reports false iff done fired before the search
+// converged; p is always left structurally valid.
+func localSearchDone(done <-chan struct{}, p *Plan, opts LocalSearchOptions) bool {
 	switch opts.Search {
 	case AdvertiserDriven:
-		AdvertiserLocalSearch(p, opts.MaxPasses)
+		_, completed := advertiserLocalSearch(done, p, opts.MaxPasses)
+		return completed
 	case BillboardDriven:
-		BillboardLocalSearch(p, opts)
+		_, completed := billboardLocalSearch(done, p, opts)
+		return completed
 	default:
 		panic(fmt.Sprintf("core: unknown search kind %d", opts.Search))
 	}
@@ -160,15 +156,29 @@ func localSearch(p *Plan, opts LocalSearchOptions) {
 // each influence is matched against, so each candidate exchange is
 // evaluated in O(1) from cached influences.
 func AdvertiserLocalSearch(p *Plan, maxPasses int) int {
+	exchanges, _ := advertiserLocalSearch(nil, p, maxPasses)
+	return exchanges
+}
+
+// AdvertiserLocalSearchCtx is AdvertiserLocalSearch under a context: it
+// additionally reports whether the search converged before ctx fired. The
+// plan is always left structurally valid.
+func AdvertiserLocalSearchCtx(ctx context.Context, p *Plan, maxPasses int) (exchanges int, completed bool) {
+	return advertiserLocalSearch(ctxDone(ctx), p, maxPasses)
+}
+
+func advertiserLocalSearch(done <-chan struct{}, p *Plan, maxPasses int) (exchanges int, completed bool) {
 	if maxPasses < 1 {
 		maxPasses = DefaultMaxPasses
 	}
 	inst := p.inst
 	n := inst.NumAdvertisers()
-	exchanges := 0
 	for pass := 0; pass < maxPasses; pass++ {
 		improved := false
 		for i := 0; i < n; i++ {
+			if cancelled(done) {
+				return exchanges, false
+			}
 			for j := i + 1; j < n; j++ {
 				ii, ij := p.Influence(i), p.Influence(j)
 				cur := p.Regret(i) + p.Regret(j)
@@ -182,10 +192,10 @@ func AdvertiserLocalSearch(p *Plan, maxPasses int) int {
 			}
 		}
 		if !improved {
-			return exchanges
+			return exchanges, true
 		}
 	}
-	return exchanges
+	return exchanges, true
 }
 
 // BillboardLocalSearch is BLS (Algorithm 5): a fine-grained neighborhood
@@ -202,10 +212,22 @@ func AdvertiserLocalSearch(p *Plan, maxPasses int) int {
 // improvement threshold derived from opts.ImprovementRatio (Definition
 // 6.1's r). It returns the number of accepted moves.
 func BillboardLocalSearch(p *Plan, opts LocalSearchOptions) int {
+	accepted, _ := billboardLocalSearch(nil, p, opts)
+	return accepted
+}
+
+// BillboardLocalSearchCtx is BillboardLocalSearch under a context: it
+// additionally reports whether the search converged before ctx fired. The
+// plan is always left structurally valid (cancellation points sit between
+// atomic moves).
+func BillboardLocalSearchCtx(ctx context.Context, p *Plan, opts LocalSearchOptions) (accepted int, completed bool) {
+	return billboardLocalSearch(ctxDone(ctx), p, opts)
+}
+
+func billboardLocalSearch(done <-chan struct{}, p *Plan, opts LocalSearchOptions) (accepted int, completed bool) {
 	opts = opts.withDefaults()
 	inst := p.inst
 	n := inst.NumAdvertisers()
-	accepted := 0
 	// Scratch buffers reused across every sweep: the member/free lists the
 	// moves enumerate (refilled in place, allocation-free after the first
 	// pass) and the trial plan of move (4), copied instead of cloned.
@@ -217,7 +239,10 @@ func BillboardLocalSearch(p *Plan, opts LocalSearchOptions) int {
 		// Move (1): pairwise billboard exchange between advertisers.
 		for i := 0; i < n; i++ {
 			for j := i + 1; j < n; j++ {
-				if tryExchangeMove(p, i, j, opts, &s) {
+				if cancelled(done) {
+					return accepted, false
+				}
+				if tryExchangeMove(p, i, j, opts, &s, done) {
 					accepted++
 					improved = true
 				}
@@ -225,13 +250,19 @@ func BillboardLocalSearch(p *Plan, opts LocalSearchOptions) int {
 		}
 		// Move (2): replace an assigned billboard with an unassigned one.
 		for i := 0; i < n; i++ {
-			if tryReplaceMove(p, i, opts, &s) {
+			if cancelled(done) {
+				return accepted, false
+			}
+			if tryReplaceMove(p, i, opts, &s, done) {
 				accepted++
 				improved = true
 			}
 		}
 		// Move (3): release an assigned billboard.
 		for i := 0; i < n; i++ {
+			if cancelled(done) {
+				return accepted, false
+			}
 			if tryReleaseMove(p, i, opts, &s) {
 				accepted++
 				improved = true
@@ -245,8 +276,13 @@ func BillboardLocalSearch(p *Plan, opts LocalSearchOptions) int {
 		} else {
 			s.trial.CopyFrom(p)
 		}
-		SynchronousGreedy(s.trial)
+		greedyOK := synchronousGreedyDone(done, s.trial)
 		p.AddEvals(s.trial.Evals() - p.Evals())
+		if !greedyOK {
+			// The trial is a half-finished greedy; discard it rather than
+			// let cancellation timing leak into the plan.
+			return accepted, false
+		}
 		if s.trial.TotalRegret() < before-opts.threshold(before) {
 			p.CopyFrom(s.trial)
 			accepted++
@@ -254,13 +290,13 @@ func BillboardLocalSearch(p *Plan, opts LocalSearchOptions) int {
 		}
 
 		if !improved {
-			return accepted
+			return accepted, true
 		}
 	}
-	return accepted
+	return accepted, true
 }
 
-// blsScratch holds the buffers one BillboardLocalSearch invocation reuses
+// blsScratch holds the buffers one billboardLocalSearch invocation reuses
 // across sweeps: candidate lists for the three point moves and the greedy
 // trial plan of move (4).
 type blsScratch struct {
@@ -270,12 +306,17 @@ type blsScratch struct {
 }
 
 // tryExchangeMove searches S_i × S_j for one accepted billboard exchange
-// (first improvement) and applies it. Reports whether a move was accepted.
-func tryExchangeMove(p *Plan, i, j int, opts LocalSearchOptions, s *blsScratch) bool {
+// (first improvement) and applies it. Reports whether a move was accepted;
+// a cancellation mid-scan simply abandons the scan (the caller re-checks
+// done and unwinds).
+func tryExchangeMove(p *Plan, i, j int, opts LocalSearchOptions, s *blsScratch, done <-chan struct{}) bool {
 	inst := p.inst
 	s.si = p.Set(i, s.si[:0])
 	s.sj = p.Set(j, s.sj[:0])
 	for _, bm := range s.si {
+		if cancelled(done) {
+			return false
+		}
 		for _, bn := range s.sj {
 			cur := p.Regret(i) + p.Regret(j)
 			di := p.SwapDeltaOf(i, bm, bn)
@@ -292,11 +333,14 @@ func tryExchangeMove(p *Plan, i, j int, opts LocalSearchOptions, s *blsScratch) 
 
 // tryReplaceMove searches S_i × unassigned for one accepted replacement and
 // applies it. Reports whether a move was accepted.
-func tryReplaceMove(p *Plan, i int, opts LocalSearchOptions, s *blsScratch) bool {
+func tryReplaceMove(p *Plan, i int, opts LocalSearchOptions, s *blsScratch, done <-chan struct{}) bool {
 	inst := p.inst
 	s.si = p.Set(i, s.si[:0])
 	s.free = p.UnassignedBillboards(s.free[:0])
 	for _, bm := range s.si {
+		if cancelled(done) {
+			return false
+		}
 		for _, bn := range s.free {
 			cur := p.Regret(i)
 			di := p.SwapDeltaOf(i, bm, bn)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -20,13 +21,26 @@ import (
 // caller reduces them serially in iteration order, which makes the selected
 // plan, its total regret and the aggregated Evals counter bit-identical to
 // the serial run for any worker count.
+//
+// Cancellation rides the same slot structure: a job interrupted by the
+// context leaves its partially improved plan in the partials slot instead of
+// the results slot, workers stop pulling new jobs once the context fires,
+// and the reduction (anytime.go) consumes only the longest completed prefix
+// of results so that truncation is deterministic at restart granularity.
+
+// restartTestHook, when non-nil, is invoked after each job slot completes
+// with that slot's index. Tests use it to fire a cancellation at an exact
+// point of the restart schedule; production code never sets it.
+var restartTestHook func(job int)
 
 // runRestarts executes the greedy initialization (slot 0) and the
 // opts.Restarts restart iterations (slots 1..Restarts) of Algorithm 3 on
-// min(opts.Workers, iterations) goroutines and returns the per-iteration
-// plans. opts must already have defaults applied; Workers < 1 selects
+// min(opts.Workers, iterations) goroutines. results[j] holds slot j's plan
+// iff the slot ran to completion; partials[j] holds the abandoned plan of a
+// slot interrupted by ctx (always structurally valid, never both set). opts
+// must already have defaults applied; Workers < 1 selects
 // runtime.GOMAXPROCS(0).
-func runRestarts(inst *Instance, opts LocalSearchOptions) []*Plan {
+func runRestarts(ctx context.Context, inst *Instance, opts LocalSearchOptions) (results, partials []*Plan) {
 	jobs := opts.Restarts + 1
 	workers := opts.Workers
 	if workers < 1 {
@@ -35,32 +49,41 @@ func runRestarts(inst *Instance, opts LocalSearchOptions) []*Plan {
 	if workers > jobs {
 		workers = jobs
 	}
+	done := ctxDone(ctx)
 
 	// The root generator is never advanced: Derive only reads its state,
 	// so concurrent derivation by the workers is safe and yields the same
 	// substreams the serial loop would.
 	root := rng.New(opts.Seed)
-	results := make([]*Plan, jobs)
+	results = make([]*Plan, jobs)
+	partials = make([]*Plan, jobs)
 	run := func(job int) {
-		if job == 0 {
-			p := SynchronousGreedy(NewPlan(inst))
-			localSearch(p, opts)
-			results[0] = p
+		p := NewPlan(inst)
+		if job > 0 {
+			seedRandomPlan(p, root.Derive(fmt.Sprintf("restart-%d", job-1)))
+		}
+		if !synchronousGreedyDone(done, p) {
+			partials[job] = p
 			return
 		}
-		iter := job - 1
-		cand := NewPlan(inst)
-		seedRandomPlan(cand, root.Derive(fmt.Sprintf("restart-%d", iter)))
-		SynchronousGreedy(cand)
-		localSearch(cand, opts)
-		results[job] = cand
+		if !localSearchDone(done, p, opts) {
+			partials[job] = p
+			return
+		}
+		results[job] = p
+		if restartTestHook != nil {
+			restartTestHook(job)
+		}
 	}
 
 	if workers == 1 {
 		for job := 0; job < jobs; job++ {
+			if cancelled(done) {
+				break
+			}
 			run(job)
 		}
-		return results
+		return results, partials
 	}
 
 	var next atomic.Int64
@@ -71,6 +94,9 @@ func runRestarts(inst *Instance, opts LocalSearchOptions) []*Plan {
 		go func() {
 			defer wg.Done()
 			for {
+				if cancelled(done) {
+					return
+				}
 				job := int(next.Add(1))
 				if job >= jobs {
 					return
@@ -80,5 +106,5 @@ func runRestarts(inst *Instance, opts LocalSearchOptions) []*Plan {
 		}()
 	}
 	wg.Wait()
-	return results
+	return results, partials
 }

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// metrics aggregates per-request observations with lock-free counters on
+// the hot path; only the per-algorithm breakdown takes a mutex, after the
+// solve has already finished.
+type metrics struct {
+	start time.Time
+
+	completed atomic.Int64 // solves that returned a plan (truncated or not)
+	truncated atomic.Int64 // subset of completed cut off by deadline/cancel
+	rejected  atomic.Int64 // 429s: queue full at admission
+	abandoned atomic.Int64 // client gone while waiting for a worker slot
+
+	latencyMicros    atomic.Int64 // sum over completed
+	latencyMaxMicros atomic.Int64
+	restarts         atomic.Int64 // sum of RestartsCompleted
+	evals            atomic.Int64 // sum of Evals
+
+	mu      sync.Mutex
+	perAlgo map[string]int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), perAlgo: make(map[string]int64)}
+}
+
+// observe records one finished solve.
+func (m *metrics) observe(algorithm string, res *core.Anytime, latency time.Duration) {
+	m.completed.Add(1)
+	if res.Truncated {
+		m.truncated.Add(1)
+	}
+	us := latency.Microseconds()
+	m.latencyMicros.Add(us)
+	for {
+		cur := m.latencyMaxMicros.Load()
+		if us <= cur || m.latencyMaxMicros.CompareAndSwap(cur, us) {
+			break
+		}
+	}
+	m.restarts.Add(int64(res.RestartsCompleted))
+	m.evals.Add(res.Evals)
+	m.mu.Lock()
+	m.perAlgo[algorithm]++
+	m.mu.Unlock()
+}
+
+// AlgoCount is one per-algorithm request total in a Stats snapshot.
+type AlgoCount struct {
+	Algorithm string `json:"algorithm"`
+	Requests  int64  `json:"requests"`
+}
+
+// Stats is the JSON document served on GET /stats.
+type Stats struct {
+	UptimeSeconds  float64     `json:"uptime_seconds"`
+	Completed      int64       `json:"completed"`
+	Truncated      int64       `json:"truncated"`
+	TruncationRate float64     `json:"truncation_rate"`
+	Rejected       int64       `json:"rejected"`
+	Abandoned      int64       `json:"abandoned"`
+	LatencyAvgMS   float64     `json:"latency_avg_ms"`
+	LatencyMaxMS   float64     `json:"latency_max_ms"`
+	Restarts       int64       `json:"restarts"`
+	Evals          int64       `json:"evals"`
+	PerAlgorithm   []AlgoCount `json:"per_algorithm"`
+}
+
+func (m *metrics) snapshot() Stats {
+	s := Stats{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Completed:     m.completed.Load(),
+		Truncated:     m.truncated.Load(),
+		Rejected:      m.rejected.Load(),
+		Abandoned:     m.abandoned.Load(),
+		Restarts:      m.restarts.Load(),
+		Evals:         m.evals.Load(),
+		LatencyMaxMS:  float64(m.latencyMaxMicros.Load()) / 1e3,
+	}
+	if s.Completed > 0 {
+		s.LatencyAvgMS = float64(m.latencyMicros.Load()) / float64(s.Completed) / 1e3
+		s.TruncationRate = float64(s.Truncated) / float64(s.Completed)
+	}
+	m.mu.Lock()
+	for name, n := range m.perAlgo {
+		s.PerAlgorithm = append(s.PerAlgorithm, AlgoCount{Algorithm: name, Requests: n})
+	}
+	m.mu.Unlock()
+	sort.Slice(s.PerAlgorithm, func(i, j int) bool {
+		return s.PerAlgorithm[i].Algorithm < s.PerAlgorithm[j].Algorithm
+	})
+	return s
+}

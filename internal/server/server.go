@@ -1,0 +1,305 @@
+// Package server implements mroamd's HTTP serving layer over the anytime
+// solve engine: a JSON API that accepts per-request algorithm and deadline
+// selection, a bounded worker pool with queue admission control (overload
+// answers 429 instead of piling up goroutines), and per-request metrics
+// exposed on /stats.
+//
+// Endpoints:
+//
+//	POST /solve    run one solve against the server's instance
+//	GET  /healthz  liveness probe
+//	GET  /stats    aggregate request metrics (JSON)
+//
+// The server owns one immutable *core.Instance loaded at startup. Solves
+// are read-only with respect to the instance, so any number can run
+// concurrently; the worker pool bounds CPU oversubscription, and the queue
+// bounds latency: a request that cannot be admitted is rejected immediately
+// with 429 so the client can retry against another replica instead of
+// waiting behind an unbounded backlog.
+//
+// Graceful shutdown is delegated to net/http: http.Server.Shutdown stops
+// accepting connections and waits for in-flight handlers — and therefore
+// in-flight solves — to drain. Solves additionally run under the request
+// context, so a client that disconnects (or a server closed with
+// http.Server.Close) cancels its solve mid-restart via the anytime engine
+// rather than leaking a runaway computation.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Instance is the MROAM problem every /solve request runs against.
+	// Required.
+	Instance *core.Instance
+	// Workers bounds the number of concurrently executing solves.
+	// Values < 1 select runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueDepth is how many admitted requests may wait for a worker slot
+	// beyond the Workers executing ones. Requests arriving with the queue
+	// full are rejected with 429. Values < 0 select 2×Workers.
+	QueueDepth int
+	// DefaultDeadline is applied to requests that do not set deadline_ms.
+	// Zero means no implicit deadline.
+	DefaultDeadline time.Duration
+	// MaxDeadline caps the per-request deadline (and bounds how long a
+	// drain can take). Zero means no cap.
+	MaxDeadline time.Duration
+	// MaxRestarts caps the per-request restart budget as an admission
+	// guard against accidentally enormous requests. Values < 1 select
+	// DefaultMaxRestarts.
+	MaxRestarts int
+
+	// solve overrides the solve call in tests (e.g. to gate completion
+	// deterministically). nil selects core.SolveAnytime.
+	solve func(ctx context.Context, alg core.Algorithm, inst *core.Instance) *core.Anytime
+}
+
+// DefaultMaxRestarts is the per-request restart cap when Config.MaxRestarts
+// is unset.
+const DefaultMaxRestarts = 1000
+
+// Server serves solve requests over one MROAM instance.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	queue   chan struct{} // admission tokens: capacity Workers + QueueDepth
+	workers chan struct{} // execution tokens: capacity Workers
+	metrics *metrics
+}
+
+// New validates cfg and returns a ready-to-serve Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Instance == nil {
+		return nil, errors.New("server: Config.Instance is required")
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth < 0 {
+		cfg.QueueDepth = 2 * cfg.Workers
+	}
+	if cfg.MaxRestarts < 1 {
+		cfg.MaxRestarts = DefaultMaxRestarts
+	}
+	if cfg.solve == nil {
+		cfg.solve = core.SolveAnytime
+	}
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		queue:   make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		workers: make(chan struct{}, cfg.Workers),
+		metrics: newMetrics(),
+	}
+	s.mux.HandleFunc("/solve", s.handleSolve)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s, nil
+}
+
+// Handler returns the HTTP handler tree; mount it on an http.Server (whose
+// Shutdown drains in-flight solves).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// SolveRequest is the JSON body of POST /solve.
+type SolveRequest struct {
+	// Algorithm is the figure name of the solver: "G-Order", "G-Global",
+	// "ALS" or "BLS".
+	Algorithm string `json:"algorithm"`
+	// Restarts is the ALS/BLS restart budget (0 selects the library
+	// default). Capped by the server's MaxRestarts admission guard.
+	Restarts int `json:"restarts"`
+	// Seed drives the randomized local search; equal seeds give equal
+	// plans (when no deadline fires).
+	Seed uint64 `json:"seed"`
+	// DeadlineMS is the solve's latency budget in milliseconds. 0 selects
+	// the server default; the server's MaxDeadline caps it either way.
+	DeadlineMS int64 `json:"deadline_ms"`
+	// ImprovementRatio is Definition 6.1's r for BLS.
+	ImprovementRatio float64 `json:"improvement_ratio"`
+	// SearchWorkers fans one solve's restart loop over N goroutines
+	// (0 = serial). Results are identical for any value.
+	SearchWorkers int `json:"search_workers"`
+	// IncludeAssignments adds the full per-advertiser billboard sets to
+	// the response.
+	IncludeAssignments bool `json:"include_assignments"`
+}
+
+// SolveResponse is the JSON body answering POST /solve.
+type SolveResponse struct {
+	Algorithm         string  `json:"algorithm"`
+	TotalRegret       float64 `json:"total_regret"`
+	Excess            float64 `json:"excess_regret"`
+	Unsatisfied       float64 `json:"unsatisfied_regret"`
+	Revenue           float64 `json:"revenue"`
+	Satisfied         int     `json:"satisfied"`
+	Advertisers       int     `json:"advertisers"`
+	RestartsRequested int     `json:"restarts_requested"`
+	RestartsCompleted int     `json:"restarts_completed"`
+	Truncated         bool    `json:"truncated"`
+	Evals             int64   `json:"evals"`
+	LatencyMS         float64 `json:"latency_ms"`
+	Assignments       [][]int `json:"assignments,omitempty"`
+}
+
+// errorResponse is the JSON body of non-200 answers.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body) // headers are out; nothing useful left to do on error
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// maxRequestBody bounds /solve bodies; solve requests are a handful of
+// scalar knobs, so anything larger is a client bug.
+const maxRequestBody = 1 << 20
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req SolveRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if req.Restarts < 0 || req.DeadlineMS < 0 {
+		writeError(w, http.StatusBadRequest, "restarts and deadline_ms must be non-negative")
+		return
+	}
+	if req.Restarts > s.cfg.MaxRestarts {
+		writeError(w, http.StatusBadRequest, "restarts %d exceeds server cap %d", req.Restarts, s.cfg.MaxRestarts)
+		return
+	}
+	if req.Algorithm == "" {
+		req.Algorithm = "BLS"
+	}
+	alg, err := core.AlgorithmByNameOpts(req.Algorithm, core.LocalSearchOptions{
+		Seed:             req.Seed,
+		Restarts:         req.Restarts,
+		ImprovementRatio: req.ImprovementRatio,
+		Workers:          max(req.SearchWorkers, 1), // serial unless asked; the pool owns parallelism
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Admission: take a queue token without blocking, or shed load now.
+	select {
+	case s.queue <- struct{}{}:
+		defer func() { <-s.queue }()
+	default:
+		s.metrics.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "solver queue full")
+		return
+	}
+
+	// Wait (bounded by the queue depth above) for an execution slot. A
+	// client that gives up while queued abandons the request without ever
+	// occupying a worker.
+	select {
+	case s.workers <- struct{}{}:
+		defer func() { <-s.workers }()
+	case <-r.Context().Done():
+		s.metrics.abandoned.Add(1)
+		writeError(w, statusClientClosedRequest, "client closed request while queued")
+		return
+	}
+
+	ctx := r.Context()
+	deadline := time.Duration(req.DeadlineMS) * time.Millisecond
+	if deadline == 0 {
+		deadline = s.cfg.DefaultDeadline
+	}
+	if s.cfg.MaxDeadline > 0 && (deadline == 0 || deadline > s.cfg.MaxDeadline) {
+		deadline = s.cfg.MaxDeadline
+	}
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+
+	start := time.Now()
+	res := s.cfg.solve(ctx, alg, s.cfg.Instance)
+	latency := time.Since(start)
+	s.metrics.observe(req.Algorithm, res, latency)
+
+	plan := res.Plan
+	excess, unsat := plan.Breakdown()
+	resp := SolveResponse{
+		Algorithm:         alg.Name(),
+		TotalRegret:       res.TotalRegret,
+		Excess:            excess,
+		Unsatisfied:       unsat,
+		Revenue:           core.Revenue(plan),
+		Satisfied:         plan.SatisfiedCount(),
+		Advertisers:       s.cfg.Instance.NumAdvertisers(),
+		RestartsRequested: res.RestartsRequested,
+		RestartsCompleted: res.RestartsCompleted,
+		Truncated:         res.Truncated,
+		Evals:             res.Evals,
+		LatencyMS:         float64(latency.Microseconds()) / 1e3,
+	}
+	if req.IncludeAssignments {
+		resp.Assignments = make([][]int, s.cfg.Instance.NumAdvertisers())
+		for i := range resp.Assignments {
+			resp.Assignments[i] = plan.Set(i, []int{})
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statusClientClosedRequest is nginx's non-standard 499 — the closest thing
+// to a status for "the client hung up while we were still queueing".
+const statusClientClosedRequest = 499
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"billboards":  s.cfg.Instance.Universe().NumBillboards(),
+		"advertisers": s.cfg.Instance.NumAdvertisers(),
+		"workers":     s.cfg.Workers,
+		"queue_depth": s.cfg.QueueDepth,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.metrics.snapshot())
+}

@@ -21,6 +21,8 @@
 package mroam
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/coverage"
 	"repro/internal/dataset"
@@ -115,6 +117,52 @@ func BLS(inst *Instance, opts SearchOptions) *Plan {
 // instances beyond a small size bound (MROAM is NP-hard — Exact exists as
 // a ground-truth oracle).
 func Exact(inst *Instance) (*Plan, error) { return core.Exact(inst) }
+
+// Anytime solving — every solver can run under a context.Context and, when
+// the deadline fires or the context is cancelled mid-solve, still returns
+// the best complete plan found so far (see DESIGN.md §8 for the contract).
+type (
+	// Anytime is the result of a context-aware solve: best plan found,
+	// restarts completed, and whether the run was truncated.
+	Anytime = core.Anytime
+	// AnytimeAlgorithm is an Algorithm supporting cancellable solves; all
+	// four paper algorithms implement it.
+	AnytimeAlgorithm = core.AnytimeAlgorithm
+)
+
+// SolveAnytime runs any Algorithm under ctx, falling back to a blocking
+// solve for algorithms without anytime support.
+func SolveAnytime(ctx context.Context, alg Algorithm, inst *Instance) *Anytime {
+	return core.SolveAnytime(ctx, alg, inst)
+}
+
+// ALSCtx is ALS under a context: cancellable and deadline-bounded, with
+// deterministic truncation at restart granularity. With a context that
+// never fires it is bit-identical to ALS.
+func ALSCtx(ctx context.Context, inst *Instance, opts SearchOptions) *Anytime {
+	opts.Search = core.AdvertiserDriven
+	return core.RandomizedLocalSearchCtx(ctx, inst, opts)
+}
+
+// BLSCtx is BLS under a context: cancellable and deadline-bounded, with
+// deterministic truncation at restart granularity. With a context that
+// never fires it is bit-identical to BLS.
+func BLSCtx(ctx context.Context, inst *Instance, opts SearchOptions) *Anytime {
+	opts.Search = core.BillboardDriven
+	return core.RandomizedLocalSearchCtx(ctx, inst, opts)
+}
+
+// GOrderCtx is GOrder under a context; on cancellation the partially built
+// plan is returned with Truncated set.
+func GOrderCtx(ctx context.Context, inst *Instance) *Anytime {
+	return core.GOrderAlgorithm{}.SolveCtx(ctx, inst)
+}
+
+// GGlobalCtx is GGlobal under a context; on cancellation the partially
+// built plan is returned with Truncated set.
+func GGlobalCtx(ctx context.Context, inst *Instance) *Anytime {
+	return core.GGlobalAlgorithm{}.SolveCtx(ctx, inst)
+}
 
 // Algorithms returns the paper's four methods (G-Order, G-Global, ALS,
 // BLS) in the evaluation's presentation order.
