@@ -2,13 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet fmt bench repro examples clean check fuzz-smoke
+.PHONY: all build test test-race vet fmt lint bench repro examples clean check fuzz-smoke trace-demo
 
 all: build test
 
-# The full pre-merge gate: build, vet, the race-detector suite, and a
-# short smoke run of every fuzz target.
-check: build vet test-race fuzz-smoke
+# The full pre-merge gate: build, lint (format + vet), the race-detector
+# suite, and a short smoke run of every fuzz target.
+check: build lint test-race fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -29,8 +29,28 @@ fuzz-smoke:
 vet:
 	$(GO) vet ./...
 
+# lint fails if any file is not gofmt-clean, then runs go vet; no output
+# means clean.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+
 fmt:
 	gofmt -l -w .
+
+# trace-demo runs one traced solve and asserts the JSONL trajectory is
+# non-empty and ends with a done record — a smoke test for the tracing
+# pipeline an operator can run before wiring dashboards to it.
+trace-demo:
+	$(GO) run ./cmd/mroam solve -scale 0.05 -alg BLS -restarts 4 -workers 4 \
+		-trace /tmp/mroam-trace.jsonl
+	@test -s /tmp/mroam-trace.jsonl || { echo "trace-demo: empty trace"; exit 1; }
+	@tail -1 /tmp/mroam-trace.jsonl | grep -q '"event":"done"' \
+		|| { echo "trace-demo: missing done record"; exit 1; }
+	@wc -l < /tmp/mroam-trace.jsonl | xargs echo "trace-demo: OK, events:"
 
 # One benchmark per table/figure of the paper plus ablations; see
 # EXPERIMENTS.md for a recorded run. -run=^$ skips the unit tests so the

@@ -13,6 +13,8 @@
 package main
 
 import (
+	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -20,11 +22,13 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/experiment"
 	"repro/internal/market"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/rng"
 	"repro/internal/simulate"
@@ -196,6 +200,7 @@ func cmdSolve(args []string, out io.Writer) error {
 	algName := fs.String("alg", "BLS", "algorithm: G-Order, G-Global, ALS or BLS")
 	restarts := fs.Int("restarts", core.DefaultRestarts, "local search restarts")
 	workers := fs.Int("workers", 0, "goroutines for the restart loop (0 = GOMAXPROCS); results are identical for any value")
+	tracePath := fs.String("trace", "", "write the solve's regret-vs-time trajectory to this file as JSONL")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -231,14 +236,53 @@ func cmdSolve(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	alg, err := core.AlgorithmByNameOpts(*algName, core.LocalSearchOptions{
-		Seed: *seed, Restarts: *restarts, Workers: *workers,
-	})
+	opts := core.LocalSearchOptions{Seed: *seed, Restarts: *restarts, Workers: *workers}
+	var tw *obs.TraceWriter
+	var traceBuf *bufio.Writer
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		traceBuf = bufio.NewWriter(f)
+		tw = obs.NewTraceWriter(traceBuf)
+		opts.Tracer = tw
+	}
+	alg, err := core.AlgorithmByNameOpts(*algName, opts)
 	if err != nil {
 		return err
 	}
 
-	m := experiment.Run(inst, alg)
+	var m experiment.Metrics
+	if tw != nil {
+		// Tracing runs through the anytime engine so the done record can
+		// carry the truncation flag and aggregated cache counters; the
+		// result is bit-identical to the plain alg.Solve path.
+		tw.Start(alg.Name(), *seed, *restarts)
+		start := time.Now()
+		res := core.SolveAnytime(context.Background(), alg, inst)
+		elapsed := time.Since(start)
+		if err := tw.Done(res, elapsed); err != nil {
+			return fmt.Errorf("trace %s: %w", *tracePath, err)
+		}
+		if err := traceBuf.Flush(); err != nil {
+			return fmt.Errorf("trace %s: %w", *tracePath, err)
+		}
+		excess, unsat := res.Plan.Breakdown()
+		m = experiment.Metrics{
+			Algorithm:      alg.Name(),
+			TotalRegret:    res.TotalRegret,
+			Excess:         excess,
+			Unsatisfied:    unsat,
+			SatisfiedCount: res.Plan.SatisfiedCount(),
+			NumAdvertisers: inst.NumAdvertisers(),
+			Runtime:        elapsed,
+			Evals:          res.Evals,
+		}
+	} else {
+		m = experiment.Run(inst, alg)
+	}
 	fmt.Fprintf(out, "%s on %s (α=%.0f%%, p=%.0f%%, γ=%.2f, λ=%.0fm, |A|=%d, |U|=%d, |T|=%d)\n",
 		alg.Name(), d.Config.City, *alpha*100, *p*100, *gamma, *lambda,
 		inst.NumAdvertisers(), u.NumBillboards(), u.NumTrajectories())
@@ -247,6 +291,9 @@ func cmdSolve(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "  unsatisfied penalty: %.1f (%.1f%%)\n", m.Unsatisfied, m.UnsatisfiedPct())
 	fmt.Fprintf(out, "  satisfied:           %d/%d advertisers\n", m.SatisfiedCount, m.NumAdvertisers)
 	fmt.Fprintf(out, "  runtime:             %v (%d marginal evaluations)\n", m.Runtime, m.Evals)
+	if tw != nil {
+		fmt.Fprintf(out, "  trace:               %s (%d incumbent improvements)\n", *tracePath, tw.Improvements())
+	}
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"os"
@@ -58,6 +59,96 @@ func TestGenAndSolveFromData(t *testing.T) {
 			t.Errorf("solve output missing %q:\n%s", want, out)
 		}
 	}
+}
+
+// TestSolveTrace: -trace must emit a JSONL trajectory whose improved
+// events are strictly decreasing in regret and non-decreasing in time,
+// bracketed by a start header and a done record that matches the printed
+// summary — and tracing must not change the solve result.
+func TestSolveTrace(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+	base := runCLI(t, "solve", "-scale", "0.02", "-alg", "BLS", "-restarts", "4", "-workers", "4", "-seed", "7")
+	out := runCLI(t, "solve", "-scale", "0.02", "-alg", "BLS", "-restarts", "4", "-workers", "4", "-seed", "7",
+		"-trace", tracePath)
+	if !strings.Contains(out, "trace:") {
+		t.Errorf("summary missing trace line:\n%s", out)
+	}
+	// The traced run must report the identical regret line.
+	baseRegret := regretLine(t, base)
+	if got := regretLine(t, out); got != baseRegret {
+		t.Errorf("tracing changed the result: %q vs %q", got, baseRegret)
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("trace has %d lines, want at least start + events + done:\n%s", len(lines), raw)
+	}
+	type event struct {
+		Event     string   `json:"event"`
+		TMS       *float64 `json:"t_ms"`
+		Regret    *float64 `json:"regret"`
+		Evals     *int64   `json:"evals"`
+		Algorithm string   `json:"algorithm"`
+		Restarts  *int     `json:"restarts"`
+		Truncated *bool    `json:"truncated"`
+	}
+	var events []event
+	for _, line := range lines {
+		var ev event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		events = append(events, ev)
+	}
+	if first := events[0]; first.Event != "start" || first.Algorithm != "BLS" || first.Restarts == nil || *first.Restarts != 4 {
+		t.Errorf("bad start record: %+v", first)
+	}
+	last := events[len(events)-1]
+	if last.Event != "done" || last.Regret == nil || last.Evals == nil || *last.Evals <= 0 || last.Truncated == nil || *last.Truncated {
+		t.Errorf("bad done record: %+v", last)
+	}
+	// The improved trajectory is monotone: strictly decreasing regret,
+	// non-decreasing time, ending at the done record's final regret.
+	var lastRegret, lastT float64
+	improvements := 0
+	restartDones := 0
+	for _, ev := range events {
+		switch ev.Event {
+		case "improved":
+			if improvements > 0 && (*ev.Regret >= lastRegret || *ev.TMS < lastT) {
+				t.Errorf("non-monotone improvement: %+v after regret=%v t=%v", ev, lastRegret, lastT)
+			}
+			lastRegret, lastT = *ev.Regret, *ev.TMS
+			improvements++
+		case "restart_done":
+			restartDones++
+		}
+	}
+	if improvements == 0 {
+		t.Error("trace has no improved events")
+	}
+	if restartDones != 5 { // greedy slot 0 + 4 restarts
+		t.Errorf("trace has %d restart_done events, want 5", restartDones)
+	}
+	if lastRegret != *last.Regret {
+		t.Errorf("final improvement %v != done regret %v", lastRegret, *last.Regret)
+	}
+}
+
+// regretLine extracts the "total regret" summary line.
+func regretLine(t *testing.T, out string) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "total regret") {
+			return strings.TrimSpace(line)
+		}
+	}
+	t.Fatalf("no regret line in output:\n%s", out)
+	return ""
 }
 
 func TestGenRequiresOut(t *testing.T) {

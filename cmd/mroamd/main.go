@@ -5,10 +5,23 @@
 // Usage:
 //
 //	mroamd -addr :8080 -city NYC -scale 0.25 -seed 42
-//	mroamd -addr :8080 -data data/nyc -workers 4 -queue 8
+//	mroamd -addr :8080 -ops-addr 127.0.0.1:8081 -workers 4 -queue 8
 //
 //	curl -s localhost:8080/solve -d '{"algorithm":"BLS","restarts":5,"deadline_ms":100}'
 //	curl -s localhost:8080/stats
+//	curl -s localhost:8081/metrics
+//
+// The optional -ops-addr listener carries the operational surface —
+// /metrics (Prometheus text exposition), /debug/pprof/*, /debug/vars
+// (expvar) and /buildinfo — so profilers and scrapers never compete with
+// solve traffic and the debug endpoints can be bound to localhost while
+// the API listens publicly. /metrics is also served on the API listener
+// for single-port deployments.
+//
+// All daemon output is structured logging (one JSON object per line via
+// log/slog): a startup record, one record per /solve request carrying the
+// request ID, outcome and latency, and a shutdown record. -log-level debug
+// additionally logs per-restart solver trace events.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, queued
 // and in-flight solves drain (bounded by -drain), then the process exits.
@@ -17,13 +30,17 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"strings"
 	"syscall"
 	"time"
@@ -31,6 +48,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/market"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/server"
 )
@@ -45,13 +63,22 @@ func main() {
 	}
 }
 
+// addrs is the readiness signal: the bound API address and, when -ops-addr
+// was given, the bound ops address ("" otherwise).
+type addrs struct {
+	api string
+	ops string
+}
+
 // run parses flags, builds the instance and serves until a signal arrives.
-// ready, when non-nil, receives the bound address once the listener is up
-// (tests use it); the returned error is nil on a clean drained shutdown.
-func run(args []string, out io.Writer, ready chan<- string) error {
+// ready, when non-nil, receives the bound addresses once the listeners are
+// up (tests use it); the returned error is nil on a clean drained shutdown.
+func run(args []string, out io.Writer, ready chan<- addrs) error {
 	fs := flag.NewFlagSet("mroamd", flag.ContinueOnError)
 	fs.SetOutput(out)
-	addr := fs.String("addr", ":8080", "listen address")
+	addr := fs.String("addr", ":8080", "listen address for the solve API")
+	opsAddr := fs.String("ops-addr", "", "listen address for the ops surface: /metrics, /debug/pprof, /debug/vars, /buildinfo (empty = disabled)")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn or error (debug adds per-restart solver trace events)")
 	city := fs.String("city", "NYC", "city to generate (NYC or SG); ignored when -data is set")
 	data := fs.String("data", "", "load a saved dataset directory instead of generating")
 	scale := fs.Float64("scale", 0.25, "fraction of the default dataset scale")
@@ -70,6 +97,12 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		return err
 	}
 
+	level, err := parseLogLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger := obs.NewLogger(out, level)
+
 	inst, err := buildInstance(*city, *data, *scale, *seed, *alpha, *p, *gamma, *lambda)
 	if err != nil {
 		return err
@@ -81,6 +114,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		DefaultDeadline: *defaultDeadline,
 		MaxDeadline:     *maxDeadline,
 		MaxRestarts:     *maxRestarts,
+		Logger:          logger,
 	})
 	if err != nil {
 		return err
@@ -94,17 +128,40 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+
+	var opsSrv *http.Server
+	opsBound := ""
+	if *opsAddr != "" {
+		opsLn, err := net.Listen("tcp", *opsAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("ops listener: %w", err)
+		}
+		opsBound = opsLn.Addr().String()
+		opsSrv = &http.Server{
+			Handler:           opsMux(srv),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := opsSrv.Serve(opsLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("ops listener failed", "err", err)
+			}
+		}()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	// The listener is live as soon as net.Listen returns (connections queue
-	// in the accept backlog), so the banner and readiness signal happen
-	// here, on the same goroutine as the shutdown log below — out need not
-	// be safe for concurrent writes.
-	fmt.Fprintf(out, "mroamd: serving %d billboards / %d advertisers on %s\n",
-		inst.Universe().NumBillboards(), inst.NumAdvertisers(), ln.Addr())
+	// The listeners are live as soon as net.Listen returns (connections
+	// queue in the accept backlog), so the startup record and readiness
+	// signal happen here.
+	logger.Info("serving",
+		"billboards", inst.Universe().NumBillboards(),
+		"advertisers", inst.NumAdvertisers(),
+		"addr", ln.Addr().String(),
+		"ops_addr", opsBound)
 	if ready != nil {
-		ready <- ln.Addr().String()
+		ready <- addrs{api: ln.Addr().String(), ops: opsBound}
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
@@ -115,13 +172,56 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	case <-ctx.Done():
 	}
 
-	fmt.Fprintln(out, "mroamd: shutting down, draining in-flight solves")
+	logger.Info("shutting down, draining in-flight solves")
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	if opsSrv != nil {
+		defer opsSrv.Close() // ops requests are cheap; no need to drain them
+	}
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
 		return fmt.Errorf("drain: %w", err)
 	}
 	return nil
+}
+
+func parseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// opsMux assembles the operational surface. It is a separate handler tree
+// from the API so the profiling endpoints can be bound to a loopback-only
+// listener in deployments where the API port is public.
+func opsMux(srv *server.Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", srv.MetricsHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/buildinfo", handleBuildInfo)
+	return mux
+}
+
+func handleBuildInfo(w http.ResponseWriter, _ *http.Request) {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		http.Error(w, "build info unavailable", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, bi.String())
 }
 
 // buildInstance loads or generates the dataset and derives the market the

@@ -9,6 +9,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func TestBuildInstance(t *testing.T) {
@@ -45,21 +47,21 @@ func TestRunFlagErrors(t *testing.T) {
 // solves over HTTP, then delivers a real SIGTERM and expects a clean drain.
 func TestRunServesAndDrainsOnSIGTERM(t *testing.T) {
 	var buf bytes.Buffer
-	ready := make(chan string, 1)
+	ready := make(chan addrs, 1)
 	done := make(chan error, 1)
 	go func() {
 		done <- run([]string{"-addr", "127.0.0.1:0", "-scale", "0.02", "-workers", "2"}, &buf, ready)
 	}()
 
-	var addr string
+	var bound addrs
 	select {
-	case addr = <-ready:
+	case bound = <-ready:
 	case err := <-done:
 		t.Fatalf("run exited before serving: %v", err)
 	case <-time.After(30 * time.Second):
 		t.Fatal("daemon never came up")
 	}
-	base := "http://" + addr
+	base := "http://" + bound.api
 
 	resp, err := http.Get(base + "/healthz")
 	if err != nil {
@@ -108,5 +110,111 @@ func TestRunServesAndDrainsOnSIGTERM(t *testing.T) {
 	}
 	if out := buf.String(); !strings.Contains(out, "draining") {
 		t.Errorf("missing drain log line in output:\n%s", out)
+	}
+	// The daemon's output is structured: every non-empty line must be a
+	// JSON object (usage text from flag errors never reaches this test).
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Errorf("non-JSON log line %q: %v", line, err)
+		}
+	}
+}
+
+// TestRunOpsSurface boots the daemon with a separate ops listener and
+// checks every endpoint of the operational surface answers, including a
+// valid Prometheus exposition that reflects served solves.
+func TestRunOpsSurface(t *testing.T) {
+	var buf bytes.Buffer
+	ready := make(chan addrs, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0", "-ops-addr", "127.0.0.1:0",
+			"-scale", "0.02", "-workers", "2",
+		}, &buf, ready)
+	}()
+	var bound addrs
+	select {
+	case bound = <-ready:
+	case err := <-done:
+		t.Fatalf("run exited before serving: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never came up")
+	}
+	if bound.ops == "" {
+		t.Fatal("ops listener not bound")
+	}
+
+	resp, err := http.Post("http://"+bound.api+"/solve", "application/json",
+		strings.NewReader(`{"algorithm":"G-Order"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqID := resp.Header.Get("X-Request-ID")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: %d", resp.StatusCode)
+	}
+	if reqID == "" {
+		t.Error("solve response missing X-Request-ID header")
+	}
+
+	get := func(path string) (int, string, []byte) {
+		t.Helper()
+		resp, err := http.Get("http://" + bound.ops + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return resp.StatusCode, resp.Header.Get("Content-Type"), body
+	}
+
+	status, ctype, body := get("/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics: %d", status)
+	}
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content type %q", ctype)
+	}
+	if err := obs.ValidateExposition(body); err != nil {
+		t.Errorf("/metrics exposition invalid: %v\n%s", err, body)
+	}
+	if !strings.Contains(string(body), `mroamd_requests_total{algorithm="G-Order"} 1`) {
+		t.Errorf("/metrics missing the served solve:\n%s", body)
+	}
+
+	if status, _, body := get("/debug/pprof/"); status != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Errorf("/debug/pprof/: %d, body %.60q", status, body)
+	}
+	if status, _, body := get("/debug/vars"); status != http.StatusOK || !strings.Contains(string(body), "memstats") {
+		t.Errorf("/debug/vars: %d, body %.60q", status, body)
+	}
+	if status, _, body := get("/buildinfo"); status != http.StatusOK || !strings.Contains(string(body), "go") {
+		t.Errorf("/buildinfo: %d, body %.60q", status, body)
+	}
+
+	// Shut down before touching buf: the daemon goroutine owns the log
+	// writer until run returns.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never drained")
+	}
+
+	// The request log line carries the ID the client saw.
+	if reqID != "" && !strings.Contains(buf.String(), reqID) {
+		t.Errorf("request ID %s absent from logs:\n%s", reqID, buf.String())
 	}
 }

@@ -25,6 +25,7 @@ func greedyAnytime(p *Plan, completed bool) *Anytime {
 		TotalRegret: p.TotalRegret(),
 		Truncated:   !completed,
 		Evals:       p.Evals(),
+		Cache:       p.CacheStats(),
 	}
 }
 

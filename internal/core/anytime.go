@@ -48,6 +48,10 @@ type Anytime struct {
 	// of the completed prefix (matching an uncancelled run truncated to
 	// RestartsCompleted); Evals is the truthful work measure for metrics.
 	Evals int64
+	// Cache aggregates the gain-cache effectiveness counters over all
+	// work performed (like Evals, including abandoned restarts);
+	// Plan.CacheStats() carries the deterministic prefix aggregate.
+	Cache CacheStats
 }
 
 // AnytimeAlgorithm is an Algorithm that supports deadline-bounded and
@@ -66,7 +70,7 @@ func SolveAnytime(ctx context.Context, alg Algorithm, inst *Instance) *Anytime {
 		return aa.SolveCtx(ctx, inst)
 	}
 	p := alg.Solve(inst)
-	return &Anytime{Plan: p, TotalRegret: p.TotalRegret(), Evals: p.Evals()}
+	return &Anytime{Plan: p, TotalRegret: p.TotalRegret(), Evals: p.Evals(), Cache: p.CacheStats()}
 }
 
 // ctxDone extracts the done channel once so the hot paths can poll with a
@@ -110,15 +114,18 @@ func RandomizedLocalSearchCtx(ctx context.Context, inst *Instance, opts LocalSea
 		prefix++
 	}
 
-	var extraEvals int64 // work outside the deterministic prefix
+	var extraEvals int64      // work outside the deterministic prefix
+	var extraCache CacheStats // ditto, for the selection-engine counters
 	for _, p := range results[prefix:] {
 		if p != nil {
 			extraEvals += p.Evals()
+			extraCache = extraCache.Add(p.CacheStats())
 		}
 	}
 	for _, p := range partials {
 		if p != nil {
 			extraEvals += p.Evals()
+			extraCache = extraCache.Add(p.CacheStats())
 		}
 	}
 
@@ -141,18 +148,22 @@ func RandomizedLocalSearchCtx(ctx context.Context, inst *Instance, opts LocalSea
 			RestartsRequested: opts.Restarts,
 			Truncated:         true,
 			Evals:             extraEvals,
+			Cache:             extraCache,
 		}
 	}
 
 	best := results[0]
 	totalEvals := best.Evals()
+	totalCache := best.CacheStats()
 	for _, cand := range results[1:prefix] {
 		totalEvals += cand.Evals()
+		totalCache = totalCache.Add(cand.CacheStats())
 		if cand.TotalRegret() < best.TotalRegret() {
 			best = cand
 		}
 	}
 	best.AddEvals(totalEvals - best.Evals())
+	best.stats = totalCache
 	return &Anytime{
 		Plan:              best,
 		TotalRegret:       best.TotalRegret(),
@@ -160,5 +171,6 @@ func RandomizedLocalSearchCtx(ctx context.Context, inst *Instance, opts LocalSea
 		RestartsCompleted: prefix - 1,
 		Truncated:         prefix < len(results),
 		Evals:             totalEvals + extraEvals,
+		Cache:             totalCache.Add(extraCache),
 	}
 }

@@ -32,6 +32,43 @@ package core
 // k = 1); for k > 1 gains are not submodular and bestBillboardFor falls
 // back to the full scan.
 
+// CacheStats counts the effectiveness of the greedy's billboard selection
+// engine for one plan. A "candidate" is an unassigned billboard with
+// non-zero degree — exactly the set the reference full scan evaluates per
+// selection call — so, because the cache provably makes the same
+// selections, Hits+Misses over a CELF-mode run equals Misses over the
+// corresponding scan-mode run (see TestGainCacheStatsMatchRecount).
+type CacheStats struct {
+	// Hits counts candidate evaluations the CELF pruning bound avoided:
+	// per selection call, the eligible candidates left unevaluated.
+	Hits int64
+	// Misses counts candidates whose marginal gain was exactly evaluated,
+	// whether off the heap (CELF) or by the full scan.
+	Misses int64
+	// Rescans counts bestBillboardFor calls that fell back to the full
+	// scan (small universe in auto mode, or the non-submodular k > 1
+	// impression measure).
+	Rescans int64
+}
+
+// Add returns the field-wise sum s + o.
+func (s CacheStats) Add(o CacheStats) CacheStats {
+	return CacheStats{
+		Hits:    s.Hits + o.Hits,
+		Misses:  s.Misses + o.Misses,
+		Rescans: s.Rescans + o.Rescans,
+	}
+}
+
+// Sub returns the field-wise difference s − o.
+func (s CacheStats) Sub(o CacheStats) CacheStats {
+	return CacheStats{
+		Hits:    s.Hits - o.Hits,
+		Misses:  s.Misses - o.Misses,
+		Rescans: s.Rescans - o.Rescans,
+	}
+}
+
 // celfSlack is the relative margin added to the pruning bound so that
 // floating-point rounding in C·r̂ can never prune a candidate whose exactly
 // evaluated key ties the incumbent. Popping a few extra entries only costs
@@ -274,6 +311,10 @@ func bestBillboardCELF(p *Plan, i int) (best int, ok bool) {
 			best, bestKey1, bestKey2 = top.b, key1, key2
 		}
 	}
+	// Every eligible candidate was either exactly evaluated above or had
+	// its evaluation pruned by the bound.
+	p.stats.Misses += int64(len(evaluated))
+	p.stats.Hits += int64(p.eligible - len(evaluated))
 	// Entries evaluated this call go back with their refreshed (exact)
 	// ratios, staying valid upper bounds for every later call.
 	for _, e := range evaluated {

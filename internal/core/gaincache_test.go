@@ -129,6 +129,119 @@ func TestGainCacheInvalidationOnRelease(t *testing.T) {
 	}
 }
 
+// TestGainCacheStatsMatchRecount drives a deterministic selection sequence
+// and checks the CacheStats counters against a brute-force recount of the
+// eligible candidates before every selection:
+//
+//   - scan mode: Misses = Σ eligible (every candidate is exactly
+//     evaluated), Hits = 0, Rescans = number of selection calls;
+//   - CELF mode: same selections, and Hits + Misses = the scan's Misses —
+//     every candidate the CELF bound skipped is a Hit, every one it popped
+//     and evaluated is a Miss — with Rescans = 0 (no fallback under k=1).
+func TestGainCacheStatsMatchRecount(t *testing.T) {
+	inst := randomInstance(rng.New(909), 300, 30, 20, 5, 1.0, 0.5)
+	u := inst.Universe()
+
+	// drive performs greedy fills for each advertiser in turn, returning
+	// the selection sequence and the brute-force eligible recount.
+	drive := func(p *Plan) (picks []int, eligibleTotal int64, calls int64) {
+		for i := 0; i < inst.NumAdvertisers(); i++ {
+			for !p.Satisfied(i) {
+				var eligible int64
+				for b := 0; b < u.NumBillboards(); b++ {
+					if p.Owner(b) == Unassigned && u.Degree(b) > 0 {
+						eligible++
+					}
+				}
+				b, ok := bestBillboardFor(p, i)
+				calls++
+				eligibleTotal += eligible
+				if !ok {
+					break
+				}
+				picks = append(picks, b)
+				p.Assign(b, i)
+			}
+		}
+		return picks, eligibleTotal, calls
+	}
+
+	var scanPicks []int
+	var scanStats CacheStats
+	var recount, calls int64
+	withScanReference(func() {
+		p := NewPlan(inst)
+		scanPicks, recount, calls = drive(p)
+		scanStats = p.CacheStats()
+	})
+	if scanStats.Hits != 0 {
+		t.Errorf("scan mode recorded %d hits, want 0", scanStats.Hits)
+	}
+	if scanStats.Misses != recount {
+		t.Errorf("scan misses %d != brute-force eligible recount %d", scanStats.Misses, recount)
+	}
+	if scanStats.Rescans != calls {
+		t.Errorf("scan rescans %d != selection calls %d", scanStats.Rescans, calls)
+	}
+
+	var celfPicks []int
+	var celfStats CacheStats
+	withCELF(func() {
+		p := NewPlan(inst)
+		celfPicks, _, _ = drive(p)
+		celfStats = p.CacheStats()
+	})
+	if len(celfPicks) != len(scanPicks) {
+		t.Fatalf("CELF made %d picks, scan %d", len(celfPicks), len(scanPicks))
+	}
+	for k := range celfPicks {
+		if celfPicks[k] != scanPicks[k] {
+			t.Fatalf("pick %d: CELF chose %d, scan chose %d", k, celfPicks[k], scanPicks[k])
+		}
+	}
+	if celfStats.Rescans != 0 {
+		t.Errorf("CELF mode recorded %d rescans, want 0", celfStats.Rescans)
+	}
+	if got := celfStats.Hits + celfStats.Misses; got != scanStats.Misses {
+		t.Errorf("CELF hits+misses %d != scan misses %d (the candidate sets must partition)",
+			got, scanStats.Misses)
+	}
+	if celfStats.Hits == 0 {
+		t.Error("CELF recorded no hits; the bound never skipped a candidate")
+	}
+	t.Logf("candidates: scan evaluated %d, CELF evaluated %d + skipped %d",
+		scanStats.Misses, celfStats.Misses, celfStats.Hits)
+}
+
+// TestGainCacheStatsAcrossAlgorithms: the partition invariant — CELF
+// hits+misses equals the scan's exact-evaluation count — must hold for the
+// full algorithms too, since both modes provably make identical selections.
+func TestGainCacheStatsAcrossAlgorithms(t *testing.T) {
+	inst := randomInstance(rng.New(313), 250, 28, 22, 5, 1.2, 0.5)
+	opts := LocalSearchOptions{Restarts: 2, Seed: 7}
+	algs := []Algorithm{
+		GOrderAlgorithm{},
+		GGlobalAlgorithm{},
+		ALSAlgorithm{Opts: opts},
+		BLSAlgorithm{Opts: opts},
+	}
+	for _, alg := range algs {
+		var scan, celf CacheStats
+		withScanReference(func() { scan = alg.Solve(inst).CacheStats() })
+		withCELF(func() { celf = alg.Solve(inst).CacheStats() })
+		if scan.Hits != 0 {
+			t.Errorf("%s: scan mode recorded %d hits", alg.Name(), scan.Hits)
+		}
+		if celf.Rescans != 0 {
+			t.Errorf("%s: CELF mode recorded %d rescans", alg.Name(), celf.Rescans)
+		}
+		if celf.Hits+celf.Misses != scan.Misses {
+			t.Errorf("%s: CELF hits+misses %d != scan misses %d",
+				alg.Name(), celf.Hits+celf.Misses, scan.Misses)
+		}
+	}
+}
+
 // TestGainCacheImpressionThresholdFallback: under the k>1 impression-count
 // measure gains are not submodular, so bestBillboardFor must use the scan
 // (and still produce valid plans).

@@ -30,6 +30,7 @@ func bestBillboardFor(p *Plan, i int) (best int, ok bool) {
 	if planUsesCELF(p) {
 		return bestBillboardCELF(p, i)
 	}
+	p.stats.Rescans++
 	return bestBillboardScan(p, i)
 }
 
@@ -40,6 +41,7 @@ func bestBillboardScan(p *Plan, i int) (best int, ok bool) {
 	curRegret := p.Regret(i)
 	curInfl := p.Influence(i)
 	var bestKey1, bestKey2 float64
+	var candidates int64
 	best = -1
 	for b, owner := range p.owner {
 		if owner != Unassigned {
@@ -49,6 +51,7 @@ func bestBillboardScan(p *Plan, i int) (best int, ok bool) {
 		if deg == 0 {
 			continue
 		}
+		candidates++
 		gain := p.GainOf(i, b)
 		dR := curRegret - p.inst.Regret(i, curInfl+gain)
 		key1 := dR / float64(deg)
@@ -57,6 +60,7 @@ func bestBillboardScan(p *Plan, i int) (best int, ok bool) {
 			best, bestKey1, bestKey2 = b, key1, key2
 		}
 	}
+	p.stats.Misses += candidates
 	return best, best != -1
 }
 

@@ -64,6 +64,13 @@ type LocalSearchOptions struct {
 	// bit-identical for every worker count. Values < 1 select
 	// runtime.GOMAXPROCS(0).
 	Workers int
+	// Tracer, when non-nil, receives solver progress events: restart
+	// lifecycle, best-regret improvements, eval-count and gain-cache
+	// counter deltas (trace.go). Tracing is purely observational — the
+	// solve result is bit-identical with or without it — and the nil
+	// (disabled) path costs nothing. Implementations must be safe for
+	// concurrent use when Workers > 1.
+	Tracer Tracer
 }
 
 // Defaults for LocalSearchOptions.
@@ -277,7 +284,11 @@ func billboardLocalSearch(done <-chan struct{}, p *Plan, opts LocalSearchOptions
 			s.trial.CopyFrom(p)
 		}
 		greedyOK := synchronousGreedyDone(done, s.trial)
+		// The trial starts as a copy of p, so adopting its counters
+		// wholesale credits p with exactly the greedy's extra work —
+		// mirrored for the selection-effectiveness counters below.
 		p.AddEvals(s.trial.Evals() - p.Evals())
+		p.stats = s.trial.stats
 		if !greedyOK {
 			// The trial is a half-finished greedy; discard it rather than
 			// let cancellation timing leak into the plan.

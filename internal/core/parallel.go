@@ -3,9 +3,11 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/rng"
 )
@@ -57,20 +59,53 @@ func runRestarts(ctx context.Context, inst *Instance, opts LocalSearchOptions) (
 	root := rng.New(opts.Seed)
 	results = make([]*Plan, jobs)
 	partials = make([]*Plan, jobs)
+
+	// Tracing state. All of it is touched only when a tracer is attached,
+	// so the disabled path executes exactly the pre-probe instructions.
+	// The incumbent (trBest) is tracked under trMu across workers purely
+	// for Improved emission — it never feeds back into the solve, whose
+	// result remains the deterministic prefix reduction of anytime.go.
+	tr := opts.Tracer
+	var t0 time.Time
+	var trMu sync.Mutex
+	trBest := math.Inf(1)
+	if tr != nil {
+		t0 = time.Now()
+	}
+
 	run := func(job int) {
+		if tr != nil {
+			tr.RestartStart(job, time.Since(t0))
+		}
 		p := NewPlan(inst)
 		if job > 0 {
 			seedRandomPlan(p, root.Derive(fmt.Sprintf("restart-%d", job-1)))
 		}
-		if !synchronousGreedyDone(done, p) {
+		completed := synchronousGreedyDone(done, p) && localSearchDone(done, p, opts)
+		if !completed {
 			partials[job] = p
-			return
-		}
-		if !localSearchDone(done, p, opts) {
-			partials[job] = p
+			if tr != nil {
+				tr.Evals(p.Evals())
+				tr.Cache(p.CacheStats())
+			}
 			return
 		}
 		results[job] = p
+		if tr != nil {
+			regret := p.TotalRegret()
+			tr.RestartDone(job, regret, p.Evals(), time.Since(t0))
+			tr.Evals(p.Evals())
+			tr.Cache(p.CacheStats())
+			// Emitting under the lock keeps Improved calls strictly
+			// decreasing in regret and non-decreasing in elapsed time
+			// even when several slots finish simultaneously.
+			trMu.Lock()
+			if regret < trBest {
+				trBest = regret
+				tr.Improved(job, regret, time.Since(t0))
+			}
+			trMu.Unlock()
+		}
 		if restartTestHook != nil {
 			restartTestHook(job)
 		}

@@ -26,6 +26,8 @@ type Plan struct {
 	owner    []int               // billboard -> advertiser index or Unassigned
 	evals    int64               // marginal-evaluation counter (work measure)
 	cache    *gainCache          // lazy-greedy selection state (gaincache.go)
+	stats    CacheStats          // selection-engine effectiveness counters
+	eligible int                 // unassigned billboards with non-zero degree
 }
 
 // NewPlan returns the empty plan (every billboard unassigned) for the
@@ -42,8 +44,12 @@ func NewPlan(inst *Instance) *Plan {
 		p.counters[i] = coverage.NewCounterWithThreshold(inst.Universe(), inst.Impressions())
 		p.regrets[i] = inst.Regret(i, 0)
 	}
+	u := inst.Universe()
 	for b := range p.owner {
 		p.owner[b] = Unassigned
+		if u.Degree(b) > 0 {
+			p.eligible++
+		}
 	}
 	return p
 }
@@ -125,6 +131,13 @@ func (p *Plan) Evals() int64 { return p.evals }
 // perform marginal evaluations outside the plan's own mutation methods.
 func (p *Plan) AddEvals(n int64) { p.evals += n }
 
+// CacheStats returns the cumulative selection-engine effectiveness counters
+// (gain-cache hits/misses and full-scan fallbacks) accrued through this
+// plan. Like Evals, the counters of a plan returned by the restart
+// framework aggregate the deterministic completed prefix, so they are
+// identical for any worker count.
+func (p *Plan) CacheStats() CacheStats { return p.stats }
+
 // refreshRegret recomputes the cached regret of advertiser i after its
 // coverage changed.
 func (p *Plan) refreshRegret(i int) {
@@ -138,6 +151,9 @@ func (p *Plan) Assign(b, i int) {
 		panic(fmt.Sprintf("core: Assign(%d, %d): billboard owned by %d", b, i, p.owner[b]))
 	}
 	p.owner[b] = i
+	if p.inst.Universe().Degree(b) > 0 {
+		p.eligible--
+	}
 	p.counters[i].Add(b)
 	p.evals++
 	p.refreshRegret(i)
@@ -151,6 +167,9 @@ func (p *Plan) Release(b int) {
 		panic(fmt.Sprintf("core: Release(%d): billboard not owned", b))
 	}
 	p.owner[b] = Unassigned
+	if p.inst.Universe().Degree(b) > 0 {
+		p.eligible++
+	}
 	p.counters[i].Remove(b)
 	p.evals++
 	p.refreshRegret(i)
@@ -250,6 +269,8 @@ func (p *Plan) Clone() *Plan {
 		regrets:  append([]float64(nil), p.regrets...),
 		owner:    append([]int(nil), p.owner...),
 		evals:    p.evals,
+		stats:    p.stats,
+		eligible: p.eligible,
 	}
 	for i, ctr := range p.counters {
 		c.counters[i] = ctr.Clone()
@@ -273,6 +294,8 @@ func (p *Plan) CopyFrom(src *Plan) {
 	copy(p.regrets, src.regrets)
 	copy(p.owner, src.owner)
 	p.evals = src.evals
+	p.stats = src.stats
+	p.eligible = src.eligible
 	p.invalidateAllGainCaches()
 }
 

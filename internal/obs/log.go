@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// NewLogger returns a logger writing one JSON object per line to w at the
+// given minimum level. slog's JSON handler serializes concurrent writes,
+// so a single logger is safe to share between the serving goroutines and
+// the shutdown path (the unsynchronized-writer bug the ad-hoc banner
+// prints used to have).
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// NopLogger returns a logger that discards every record (and reports every
+// level as disabled, so callers' Enabled gates skip attribute assembly).
+func NopLogger() *slog.Logger {
+	return slog.New(nopHandler{})
+}
+
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks that b is well-formed Prometheus text
+// exposition (version 0.0.4) as produced by Registry.WritePrometheus:
+// every family opens with a # HELP line immediately followed by a matching
+// # TYPE line, every sample belongs to a declared family, histogram bucket
+// counts are cumulative (monotone non-decreasing), the +Inf bucket is
+// present and equals <name>_count, and every sample value parses. It is
+// used by the exposition tests here and in internal/server, and by
+// operators as a cheap scrape sanity check.
+func ValidateExposition(b []byte) error {
+	type histState struct {
+		lastCum  int64
+		infSeen  bool
+		infCum   int64
+		sumSeen  bool
+		count    int64
+		countSet bool
+	}
+	kinds := make(map[string]string)     // family -> counter|gauge|histogram
+	hists := make(map[string]*histState) // histogram family state
+	lastHelp := ""                       // family named by the preceding HELP line
+
+	lines := strings.Split(string(b), "\n")
+	for n, line := range lines {
+		lineNo := n + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			fields := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(fields) == 0 || fields[0] == "" {
+				return fmt.Errorf("line %d: HELP without a metric name", lineNo)
+			}
+			lastHelp = fields[0]
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				return fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			name, kind := fields[0], fields[1]
+			if name != lastHelp {
+				return fmt.Errorf("line %d: TYPE for %q not preceded by its HELP line (last HELP: %q)", lineNo, name, lastHelp)
+			}
+			if kind != "counter" && kind != "gauge" && kind != "histogram" {
+				return fmt.Errorf("line %d: unknown type %q", lineNo, kind)
+			}
+			if _, dup := kinds[name]; dup {
+				return fmt.Errorf("line %d: family %q declared twice", lineNo, name)
+			}
+			kinds[name] = kind
+			if kind == "histogram" {
+				hists[name] = &histState{}
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // free-form comment
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fam := name
+		suffix := ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, s)
+			if base != name && kinds[base] == "histogram" {
+				fam, suffix = base, s
+				break
+			}
+		}
+		kind, ok := kinds[fam]
+		if !ok {
+			return fmt.Errorf("line %d: sample %q has no TYPE declaration", lineNo, name)
+		}
+		if kind == "histogram" && suffix == "" {
+			return fmt.Errorf("line %d: bare sample %q for histogram family", lineNo, name)
+		}
+		if kind == "histogram" {
+			h := hists[fam]
+			switch suffix {
+			case "_bucket":
+				le, ok := labels["le"]
+				if !ok {
+					return fmt.Errorf("line %d: bucket without le label", lineNo)
+				}
+				cum := int64(value)
+				if cum < h.lastCum {
+					return fmt.Errorf("line %d: bucket counts not cumulative (%d after %d)", lineNo, cum, h.lastCum)
+				}
+				h.lastCum = cum
+				if le == "+Inf" {
+					h.infSeen = true
+					h.infCum = cum
+				} else if _, err := strconv.ParseFloat(le, 64); err != nil {
+					return fmt.Errorf("line %d: unparseable le %q", lineNo, le)
+				}
+			case "_sum":
+				h.sumSeen = true
+			case "_count":
+				h.count = int64(value)
+				h.countSet = true
+			}
+		}
+	}
+
+	for name, h := range hists {
+		if !h.infSeen {
+			return fmt.Errorf("histogram %q: missing le=\"+Inf\" bucket", name)
+		}
+		if !h.sumSeen || !h.countSet {
+			return fmt.Errorf("histogram %q: missing _sum or _count", name)
+		}
+		if h.infCum != h.count {
+			return fmt.Errorf("histogram %q: +Inf bucket %d != count %d", name, h.infCum, h.count)
+		}
+	}
+	return nil
+}
+
+// parseSample splits one exposition sample line into its name, label map
+// and value.
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	labels = make(map[string]string)
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		end := strings.LastIndexByte(rest, '}')
+		if end < i {
+			return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		for _, pair := range splitLabels(rest[i+1 : end]) {
+			eq := strings.IndexByte(pair, '=')
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("malformed label pair %q", pair)
+			}
+			v := pair[eq+1:]
+			if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				return "", nil, 0, fmt.Errorf("unquoted label value in %q", pair)
+			}
+			labels[pair[:eq]] = unescapeLabelValue(v[1 : len(v)-1])
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) != 2 {
+			return "", nil, 0, fmt.Errorf("want 'name value', got %q", line)
+		}
+		name, rest = fields[0], fields[1]
+	}
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	value, err = strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("unparseable value in %q: %v", line, err)
+	}
+	return name, labels, value, nil
+}
+
+// splitLabels splits a label body on commas that are not inside quoted
+// values.
+func splitLabels(s string) []string {
+	var parts []string
+	var cur strings.Builder
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '\\' && inQuote && i+1 < len(s):
+			cur.WriteByte(c)
+			i++
+			cur.WriteByte(s[i])
+		case c == '"':
+			inQuote = !inQuote
+			cur.WriteByte(c)
+		case c == ',' && !inQuote:
+			parts = append(parts, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if cur.Len() > 0 {
+		parts = append(parts, cur.String())
+	}
+	return parts
+}
+
+func unescapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\"`, `"`)
+	s = strings.ReplaceAll(s, `\n`, "\n")
+	return strings.ReplaceAll(s, `\\`, `\`)
+}

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// Request IDs tie a served request's admission decision, its solver trace
+// events and its structured log line together. An ID is a random per-process
+// prefix plus a monotonic sequence number — unique across restarts of the
+// same daemon (fresh prefix) and trivially ordered within one process, while
+// staying cheap enough to mint on the admission hot path (one atomic add).
+
+var reqIDPrefix = func() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Entropy exhaustion is effectively unreachable; degrade to a
+		// fixed prefix rather than failing admission.
+		return "00000000"
+	}
+	return hex.EncodeToString(b[:])
+}()
+
+var reqIDSeq atomic.Uint64
+
+// NewRequestID mints a process-unique request ID such as "3fa95c1b-000042".
+func NewRequestID() string {
+	return fmt.Sprintf("%s-%06d", reqIDPrefix, reqIDSeq.Add(1))
+}
+
+type reqIDKey struct{}
+
+// WithRequestID returns a context carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, reqIDKey{}, id)
+}
+
+// RequestID returns the request ID carried by ctx, or "" when absent.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}

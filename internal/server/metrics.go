@@ -2,45 +2,84 @@ package server
 
 import (
 	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
-// metrics aggregates per-request observations with lock-free counters on
-// the hot path; only the per-algorithm breakdown takes a mutex, after the
-// solve has already finished.
+// metrics aggregates per-request observations on obs primitives. The same
+// counters and histograms back both the Prometheus exposition on /metrics
+// and the JSON snapshot on /stats, so the two views can never disagree;
+// everything on the hot path is lock-free (the CounterVec children are
+// created once per label value and cached inside the vec).
 type metrics struct {
 	start time.Time
+	reg   *obs.Registry
 
-	completed atomic.Int64 // solves that returned a plan (truncated or not)
-	truncated atomic.Int64 // subset of completed cut off by deadline/cancel
-	rejected  atomic.Int64 // 429s: queue full at admission
-	abandoned atomic.Int64 // client gone while waiting for a worker slot
+	requests  *obs.CounterVec // completed solves by algorithm
+	latency   *obs.Histogram  // seconds per completed solve
+	regret    *obs.Histogram  // final total regret per completed solve
+	truncated *obs.Counter    // completed solves cut off by deadline/cancel
+	rejected  *obs.Counter    // 429s: queue full at admission
+	abandoned *obs.Counter    // client gone while waiting for a worker slot
+	restarts  *obs.Counter    // sum of RestartsCompleted
+	evals     *obs.Counter    // sum of Evals
+	cache     *obs.CounterVec // gain-cache events by kind
 
-	latencyMicros    atomic.Int64 // sum over completed
+	// Histograms do not retain a max, so /stats keeps its own (CAS loop,
+	// still lock-free).
 	latencyMaxMicros atomic.Int64
-	restarts         atomic.Int64 // sum of RestartsCompleted
-	evals            atomic.Int64 // sum of Evals
-
-	mu      sync.Mutex
-	perAlgo map[string]int64
 }
 
+// Latency buckets span 1ms..~16s doubling per bucket — wide enough for a
+// city-scale BLS solve, fine enough to see the greedy algorithms. Regret
+// buckets span 1..~8.4M the same way; regret is instance-scale dependent,
+// so the range is deliberately generous.
+var (
+	latencyBuckets = obs.ExpBuckets(0.001, 2, 15)
+	regretBuckets  = obs.ExpBuckets(1, 2, 24)
+)
+
 func newMetrics() *metrics {
-	return &metrics{start: time.Now(), perAlgo: make(map[string]int64)}
+	reg := obs.NewRegistry()
+	m := &metrics{start: time.Now(), reg: reg}
+	m.requests = reg.CounterVec("mroamd_requests_total",
+		"Completed solve requests by algorithm.", "algorithm")
+	m.latency = reg.Histogram("mroamd_solve_latency_seconds",
+		"Wall-clock latency of completed solves.", latencyBuckets)
+	m.regret = reg.Histogram("mroamd_solve_regret",
+		"Final total regret of completed solves.", regretBuckets)
+	m.truncated = reg.Counter("mroamd_solves_truncated_total",
+		"Completed solves cut short by deadline or client disconnect.")
+	m.rejected = reg.Counter("mroamd_requests_rejected_total",
+		"Requests shed with 429 because the admission queue was full.")
+	m.abandoned = reg.Counter("mroamd_requests_abandoned_total",
+		"Requests whose client disconnected while queued (499).")
+	m.restarts = reg.Counter("mroamd_solver_restarts_total",
+		"Local-search restarts completed across all solves.")
+	m.evals = reg.Counter("mroamd_solver_evals_total",
+		"Candidate plan evaluations across all solves.")
+	m.cache = reg.CounterVec("mroamd_gain_cache_events_total",
+		"Gain-cache outcomes: hit = evaluation avoided by a CELF bound, "+
+			"miss = candidate evaluated exactly, rescan = selection fell back to a full scan.",
+		"event")
+	reg.GaugeFunc("mroamd_uptime_seconds",
+		"Seconds since the server started.",
+		func() float64 { return time.Since(m.start).Seconds() })
+	return m
 }
 
 // observe records one finished solve.
 func (m *metrics) observe(algorithm string, res *core.Anytime, latency time.Duration) {
-	m.completed.Add(1)
+	m.requests.With(algorithm).Inc()
+	m.latency.Observe(latency.Seconds())
+	m.regret.Observe(res.TotalRegret)
 	if res.Truncated {
-		m.truncated.Add(1)
+		m.truncated.Inc()
 	}
 	us := latency.Microseconds()
-	m.latencyMicros.Add(us)
 	for {
 		cur := m.latencyMaxMicros.Load()
 		if us <= cur || m.latencyMaxMicros.CompareAndSwap(cur, us) {
@@ -49,9 +88,9 @@ func (m *metrics) observe(algorithm string, res *core.Anytime, latency time.Dura
 	}
 	m.restarts.Add(int64(res.RestartsCompleted))
 	m.evals.Add(res.Evals)
-	m.mu.Lock()
-	m.perAlgo[algorithm]++
-	m.mu.Unlock()
+	m.cache.With("hit").Add(res.Cache.Hits)
+	m.cache.With("miss").Add(res.Cache.Misses)
+	m.cache.With("rescan").Add(res.Cache.Rescans)
 }
 
 // AlgoCount is one per-algorithm request total in a Stats snapshot.
@@ -60,7 +99,9 @@ type AlgoCount struct {
 	Requests  int64  `json:"requests"`
 }
 
-// Stats is the JSON document served on GET /stats.
+// Stats is the JSON document served on GET /stats. Its shape predates the
+// Prometheus exposition and is kept backward-compatible; the values are
+// derived from the same underlying counters and histograms.
 type Stats struct {
 	UptimeSeconds  float64     `json:"uptime_seconds"`
 	Completed      int64       `json:"completed"`
@@ -78,23 +119,21 @@ type Stats struct {
 func (m *metrics) snapshot() Stats {
 	s := Stats{
 		UptimeSeconds: time.Since(m.start).Seconds(),
-		Completed:     m.completed.Load(),
-		Truncated:     m.truncated.Load(),
-		Rejected:      m.rejected.Load(),
-		Abandoned:     m.abandoned.Load(),
-		Restarts:      m.restarts.Load(),
-		Evals:         m.evals.Load(),
+		Completed:     m.latency.Count(),
+		Truncated:     m.truncated.Value(),
+		Rejected:      m.rejected.Value(),
+		Abandoned:     m.abandoned.Value(),
+		Restarts:      m.restarts.Value(),
+		Evals:         m.evals.Value(),
 		LatencyMaxMS:  float64(m.latencyMaxMicros.Load()) / 1e3,
 	}
 	if s.Completed > 0 {
-		s.LatencyAvgMS = float64(m.latencyMicros.Load()) / float64(s.Completed) / 1e3
+		s.LatencyAvgMS = m.latency.Sum() / float64(s.Completed) * 1e3
 		s.TruncationRate = float64(s.Truncated) / float64(s.Completed)
 	}
-	m.mu.Lock()
-	for name, n := range m.perAlgo {
-		s.PerAlgorithm = append(s.PerAlgorithm, AlgoCount{Algorithm: name, Requests: n})
-	}
-	m.mu.Unlock()
+	m.requests.Each(func(values []string, n int64) {
+		s.PerAlgorithm = append(s.PerAlgorithm, AlgoCount{Algorithm: values[0], Requests: n})
+	})
 	sort.Slice(s.PerAlgorithm, func(i, j int) bool {
 		return s.PerAlgorithm[i].Algorithm < s.PerAlgorithm[j].Algorithm
 	})

@@ -1,0 +1,201 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestMetricsEndpoint: /metrics must serve a valid Prometheus exposition
+// whose counters reflect the served traffic and agree with /stats.
+func TestMetricsEndpoint(t *testing.T) {
+	inst := testInstance(t, 200, 30, 4)
+	s, err := New(Config{Instance: inst, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for seed := uint64(0); seed < 3; seed++ {
+		status, _, _ := postSolve(t, ts.Client(), ts.URL, SolveRequest{Algorithm: "BLS", Restarts: 2, Seed: seed})
+		if status != http.StatusOK {
+			t.Fatalf("solve: %d", status)
+		}
+	}
+	status, _, _ := postSolve(t, ts.Client(), ts.URL, SolveRequest{Algorithm: "G-Global"})
+	if status != http.StatusOK {
+		t.Fatalf("solve: %d", status)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	if err := obs.ValidateExposition(body); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, body)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`mroamd_requests_total{algorithm="BLS"} 3`,
+		`mroamd_requests_total{algorithm="G-Global"} 1`,
+		"mroamd_solve_latency_seconds_count 4",
+		"mroamd_solve_regret_count 4",
+		"# TYPE mroamd_solve_latency_seconds histogram",
+		"mroamd_requests_rejected_total 0",
+		"mroamd_gain_cache_events_total{event=",
+		"mroamd_queue_depth 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	// /stats is derived from the same primitives and must agree.
+	resp, err = ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Completed != 4 {
+		t.Errorf("/stats completed %d, want 4", st.Completed)
+	}
+	if st.LatencyAvgMS <= 0 || st.LatencyMaxMS < st.LatencyAvgMS {
+		t.Errorf("latency stats inconsistent: avg %v, max %v", st.LatencyAvgMS, st.LatencyMaxMS)
+	}
+	if st.Evals <= 0 || st.Restarts <= 0 {
+		t.Errorf("work counters empty: %+v", st)
+	}
+}
+
+// TestRequestLogging: every /solve outcome emits exactly one JSON log line
+// carrying the same request ID the client saw in X-Request-ID.
+func TestRequestLogging(t *testing.T) {
+	inst := testInstance(t, 150, 20, 3)
+	var logBuf bytes.Buffer
+	s, err := New(Config{
+		Instance: inst,
+		Workers:  1,
+		Logger:   obs.NewLogger(&logBuf, slog.LevelInfo),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Post(ts.URL+"/solve", "application/json",
+		strings.NewReader(`{"algorithm":"G-Order"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	reqID := resp.Header.Get("X-Request-ID")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: %d", resp.StatusCode)
+	}
+	if reqID == "" {
+		t.Fatal("missing X-Request-ID header")
+	}
+
+	// A malformed request logs its failure outcome too.
+	resp, err = ts.Client().Post(ts.URL+"/solve", "application/json",
+		strings.NewReader(`{"algorithm":`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed solve: %d", resp.StatusCode)
+	}
+	badID := resp.Header.Get("X-Request-ID")
+	if badID == "" || badID == reqID {
+		t.Fatalf("bad request ID %q (ok request had %q)", badID, reqID)
+	}
+
+	lines := strings.Split(strings.TrimSpace(logBuf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d log lines, want 2:\n%s", len(lines), logBuf.String())
+	}
+	type record struct {
+		Msg       string  `json:"msg"`
+		Req       string  `json:"req"`
+		Status    int     `json:"status"`
+		Algorithm string  `json:"algorithm"`
+		ElapsedMS float64 `json:"elapsed_ms"`
+		Truncated *bool   `json:"truncated"`
+		Error     string  `json:"error"`
+	}
+	var ok, bad record
+	if err := json.Unmarshal([]byte(lines[0]), &ok); err != nil {
+		t.Fatalf("log line %q: %v", lines[0], err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &bad); err != nil {
+		t.Fatalf("log line %q: %v", lines[1], err)
+	}
+	if ok.Req != reqID || ok.Status != http.StatusOK || ok.Algorithm != "G-Order" || ok.Truncated == nil {
+		t.Errorf("success record wrong: %+v", ok)
+	}
+	if ok.ElapsedMS <= 0 {
+		t.Errorf("success record has no latency: %+v", ok)
+	}
+	if bad.Req != badID || bad.Status != http.StatusBadRequest || bad.Error == "" {
+		t.Errorf("failure record wrong: %+v", bad)
+	}
+}
+
+// TestDebugLoggerAttachesTracer: at Debug level the solver's trace events
+// appear in the log, tagged with the request ID — and the solve result is
+// unchanged (checked against the Info-level run).
+func TestDebugLoggerAttachesTracer(t *testing.T) {
+	inst := testInstance(t, 150, 20, 3)
+	run := func(level slog.Level) (SolveResponse, string) {
+		var logBuf bytes.Buffer
+		s, err := New(Config{Instance: inst, Workers: 1, Logger: obs.NewLogger(&logBuf, level)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		status, res, _ := postSolve(t, ts.Client(), ts.URL, SolveRequest{Algorithm: "BLS", Restarts: 2, Seed: 4})
+		if status != http.StatusOK {
+			t.Fatalf("solve: %d", status)
+		}
+		return res, logBuf.String()
+	}
+	info, infoLog := run(slog.LevelInfo)
+	debug, debugLog := run(slog.LevelDebug)
+	if info.TotalRegret != debug.TotalRegret || info.Evals != debug.Evals {
+		t.Errorf("tracing changed the answer: info %+v, debug %+v", info, debug)
+	}
+	if strings.Contains(infoLog, "restart done") {
+		t.Error("trace events leaked into Info-level logs")
+	}
+	if !strings.Contains(debugLog, "restart done") || !strings.Contains(debugLog, "incumbent improved") {
+		t.Errorf("debug log missing trace events:\n%s", debugLog)
+	}
+}

@@ -9,6 +9,16 @@
 //	POST /solve    run one solve against the server's instance
 //	GET  /healthz  liveness probe
 //	GET  /stats    aggregate request metrics (JSON)
+//	GET  /metrics  the same aggregates in Prometheus text exposition
+//
+// Every /solve request is assigned a process-unique request ID, echoed in
+// the X-Request-ID response header, propagated through the request context
+// into the solver, and stamped on the one structured log line emitted per
+// request (outcome, algorithm, seed, restarts completed, truncation,
+// latency). When Config.Logger admits Debug records, solver progress
+// events (restart schedule, incumbent improvements) are logged too, via a
+// core.Tracer — tracing is observational, so traced and untraced solves
+// return bit-identical plans.
 //
 // The server owns one immutable *core.Instance loaded at startup. Solves
 // are read-only with respect to the instance, so any number can run
@@ -30,11 +40,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Config parameterizes a Server.
@@ -59,6 +71,10 @@ type Config struct {
 	// guard against accidentally enormous requests. Values < 1 select
 	// DefaultMaxRestarts.
 	MaxRestarts int
+	// Logger receives one structured record per /solve request plus
+	// lifecycle events. nil discards everything. A logger whose level
+	// admits Debug additionally gets per-restart solver trace events.
+	Logger *slog.Logger
 
 	// solve overrides the solve call in tests (e.g. to gate completion
 	// deterministically). nil selects core.SolveAnytime.
@@ -72,6 +88,7 @@ const DefaultMaxRestarts = 1000
 // Server serves solve requests over one MROAM instance.
 type Server struct {
 	cfg     Config
+	log     *slog.Logger
 	mux     *http.ServeMux
 	queue   chan struct{} // admission tokens: capacity Workers + QueueDepth
 	workers chan struct{} // execution tokens: capacity Workers
@@ -95,22 +112,37 @@ func New(cfg Config) (*Server, error) {
 	if cfg.solve == nil {
 		cfg.solve = core.SolveAnytime
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NopLogger()
+	}
 	s := &Server{
 		cfg:     cfg,
+		log:     cfg.Logger,
 		mux:     http.NewServeMux(),
 		queue:   make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 		workers: make(chan struct{}, cfg.Workers),
 		metrics: newMetrics(),
 	}
+	s.metrics.reg.GaugeFunc("mroamd_queue_depth",
+		"Admitted requests currently queued or executing.",
+		func() float64 { return float64(len(s.queue)) })
+	s.metrics.reg.GaugeFunc("mroamd_inflight_solves",
+		"Solves currently holding a worker slot.",
+		func() float64 { return float64(len(s.workers)) })
 	s.mux.HandleFunc("/solve", s.handleSolve)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.Handle("/metrics", s.MetricsHandler())
 	return s, nil
 }
 
 // Handler returns the HTTP handler tree; mount it on an http.Server (whose
 // Shutdown drains in-flight solves).
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// MetricsHandler returns the Prometheus exposition handler on its own, so
+// a separate ops listener can serve /metrics without exposing /solve.
+func (s *Server) MetricsHandler() http.Handler { return s.metrics.reg.Handler() }
 
 // SolveRequest is the JSON body of POST /solve.
 type SolveRequest struct {
@@ -175,37 +207,64 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 const maxRequestBody = 1 << 20
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	// Admission stamps every request — even ones about to be rejected —
+	// with a process-unique ID, so a log line can always be tied back to
+	// the response the client saw.
+	reqID := obs.NewRequestID()
+	w.Header().Set("X-Request-ID", reqID)
+	ctx := obs.WithRequestID(r.Context(), reqID)
+	reqLog := s.log.With("req", reqID)
+	admitted := time.Now()
+	logOutcome := func(status int, attrs ...any) {
+		attrs = append(attrs,
+			"status", status,
+			"elapsed_ms", float64(time.Since(admitted).Microseconds())/1e3)
+		reqLog.Info("solve request", attrs...)
+	}
+	fail := func(status int, format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		logOutcome(status, "error", msg)
+		writeJSON(w, status, errorResponse{Error: msg})
+	}
+
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		fail(http.StatusMethodNotAllowed, "POST only")
 		return
 	}
 	var req SolveRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		fail(http.StatusBadRequest, "decode request: %v", err)
 		return
 	}
 	if req.Restarts < 0 || req.DeadlineMS < 0 {
-		writeError(w, http.StatusBadRequest, "restarts and deadline_ms must be non-negative")
+		fail(http.StatusBadRequest, "restarts and deadline_ms must be non-negative")
 		return
 	}
 	if req.Restarts > s.cfg.MaxRestarts {
-		writeError(w, http.StatusBadRequest, "restarts %d exceeds server cap %d", req.Restarts, s.cfg.MaxRestarts)
+		fail(http.StatusBadRequest, "restarts %d exceeds server cap %d", req.Restarts, s.cfg.MaxRestarts)
 		return
 	}
 	if req.Algorithm == "" {
 		req.Algorithm = "BLS"
+	}
+	// Tracing is observational (bit-identical results), so attaching it
+	// whenever the logger wants Debug records cannot change answers.
+	var tracer core.Tracer
+	if reqLog.Enabled(ctx, slog.LevelDebug) {
+		tracer = obs.LogTracer{L: reqLog}
 	}
 	alg, err := core.AlgorithmByNameOpts(req.Algorithm, core.LocalSearchOptions{
 		Seed:             req.Seed,
 		Restarts:         req.Restarts,
 		ImprovementRatio: req.ImprovementRatio,
 		Workers:          max(req.SearchWorkers, 1), // serial unless asked; the pool owns parallelism
+		Tracer:           tracer,
 	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		fail(http.StatusBadRequest, "%v", err)
 		return
 	}
 
@@ -214,9 +273,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	case s.queue <- struct{}{}:
 		defer func() { <-s.queue }()
 	default:
-		s.metrics.rejected.Add(1)
+		s.metrics.rejected.Inc()
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "solver queue full")
+		fail(http.StatusTooManyRequests, "solver queue full")
 		return
 	}
 
@@ -226,13 +285,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	select {
 	case s.workers <- struct{}{}:
 		defer func() { <-s.workers }()
-	case <-r.Context().Done():
-		s.metrics.abandoned.Add(1)
-		writeError(w, statusClientClosedRequest, "client closed request while queued")
+	case <-ctx.Done():
+		s.metrics.abandoned.Inc()
+		fail(statusClientClosedRequest, "client closed request while queued")
 		return
 	}
 
-	ctx := r.Context()
 	deadline := time.Duration(req.DeadlineMS) * time.Millisecond
 	if deadline == 0 {
 		deadline = s.cfg.DefaultDeadline
@@ -250,6 +308,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	res := s.cfg.solve(ctx, alg, s.cfg.Instance)
 	latency := time.Since(start)
 	s.metrics.observe(req.Algorithm, res, latency)
+	logOutcome(http.StatusOK,
+		"algorithm", alg.Name(),
+		"seed", req.Seed,
+		"regret", res.TotalRegret,
+		"restarts_completed", res.RestartsCompleted,
+		"truncated", res.Truncated,
+		"evals", res.Evals,
+		"solve_ms", float64(latency.Microseconds())/1e3)
 
 	plan := res.Plan
 	excess, unsat := plan.Breakdown()

@@ -496,7 +496,7 @@ func TestQueuedClientDisconnect(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("abandoned request never unwound")
 	}
-	if n := s.metrics.abandoned.Load(); n != 1 {
+	if n := s.metrics.abandoned.Value(); n != 1 {
 		t.Errorf("abandoned = %d, want 1", n)
 	}
 
