@@ -21,16 +21,14 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"strings"
 	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/core"
-	"repro/internal/dataset"
 	"repro/internal/experiment"
 	"repro/internal/market"
 	"repro/internal/obs"
 	"repro/internal/report"
-	"repro/internal/rng"
 	"repro/internal/simulate"
 )
 
@@ -95,23 +93,18 @@ subcommands:
   help   show this message`)
 }
 
-func parseCity(s string) (dataset.City, error) {
-	switch strings.ToUpper(s) {
-	case "NYC":
-		return dataset.NYC, nil
-	case "SG":
-		return dataset.SG, nil
-	default:
-		return 0, fmt.Errorf("unknown city %q (want NYC or SG)", s)
-	}
+// specDefaults is DefaultSpec with a subcommand-specific scale, the only
+// knob whose default differs between subcommands.
+func specDefaults(scale float64) catalog.Spec {
+	s := catalog.DefaultSpec()
+	s.Scale = scale
+	return s
 }
 
 func cmdGen(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
 	fs.SetOutput(out)
-	city := fs.String("city", "NYC", "city to generate (NYC or SG)")
-	scale := fs.Float64("scale", 1.0, "fraction of the default dataset scale")
-	seed := fs.Uint64("seed", 42, "generator seed")
+	spec := catalog.Bind(fs, catalog.FieldDataset, specDefaults(1.0))
 	outDir := fs.String("out", "", "output directory (required)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -119,17 +112,11 @@ func cmdGen(args []string, out io.Writer) error {
 	if *outDir == "" {
 		return fmt.Errorf("gen: -out is required")
 	}
-	c, err := parseCity(*city)
-	if err != nil {
+	s := spec.Spec().Normalized()
+	if err := s.Validate(); err != nil {
 		return err
 	}
-	var cfg dataset.Config
-	if c == dataset.NYC {
-		cfg = dataset.DefaultNYC(*seed)
-	} else {
-		cfg = dataset.DefaultSG(*seed)
-	}
-	d, err := dataset.Generate(cfg.Scale(*scale))
+	d, err := catalog.BuildDataset(s)
 	if err != nil {
 		return err
 	}
@@ -189,14 +176,7 @@ func cmdStats(args []string, out io.Writer) error {
 func cmdSolve(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("solve", flag.ContinueOnError)
 	fs.SetOutput(out)
-	city := fs.String("city", "NYC", "city (NYC or SG); ignored when -data is set")
-	data := fs.String("data", "", "load a saved dataset directory instead of generating")
-	scale := fs.Float64("scale", 0.25, "fraction of the default dataset scale")
-	seed := fs.Uint64("seed", 42, "seed for dataset, market and search")
-	alpha := fs.Float64("alpha", market.DefaultAlpha, "demand-supply ratio α")
-	p := fs.Float64("p", market.DefaultP, "average-individual demand ratio p")
-	gamma := fs.Float64("gamma", market.DefaultGamma, "unsatisfied penalty ratio γ")
-	lambda := fs.Float64("lambda", market.DefaultLambda, "influence radius λ in meters")
+	spec := catalog.Bind(fs, catalog.FieldsAll, specDefaults(0.25))
 	algName := fs.String("alg", "BLS", "algorithm: G-Order, G-Global, ALS or BLS")
 	restarts := fs.Int("restarts", core.DefaultRestarts, "local search restarts")
 	workers := fs.Int("workers", 0, "goroutines for the restart loop (0 = GOMAXPROCS); results are identical for any value")
@@ -205,38 +185,12 @@ func cmdSolve(args []string, out io.Writer) error {
 		return err
 	}
 
-	var d *dataset.Dataset
-	var err error
-	if *data != "" {
-		d, err = dataset.Load(*data)
-	} else {
-		var c dataset.City
-		c, err = parseCity(*city)
-		if err != nil {
-			return err
-		}
-		var cfg dataset.Config
-		if c == dataset.NYC {
-			cfg = dataset.DefaultNYC(*seed)
-		} else {
-			cfg = dataset.DefaultSG(*seed)
-		}
-		d, err = dataset.Generate(cfg.Scale(*scale))
-	}
+	s := spec.Spec().Normalized()
+	inst, info, err := catalog.Build(s)
 	if err != nil {
 		return err
 	}
-
-	u, err := d.BuildUniverse(*lambda)
-	if err != nil {
-		return err
-	}
-	inst, err := market.NewInstance(u, market.Config{Alpha: *alpha, P: *p}, *gamma,
-		rng.New(*seed).Derive("market"))
-	if err != nil {
-		return err
-	}
-	opts := core.LocalSearchOptions{Seed: *seed, Restarts: *restarts, Workers: *workers}
+	opts := core.LocalSearchOptions{Seed: s.Seed, Restarts: *restarts, Workers: *workers}
 	var tw *obs.TraceWriter
 	var traceBuf *bufio.Writer
 	if *tracePath != "" {
@@ -259,7 +213,7 @@ func cmdSolve(args []string, out io.Writer) error {
 		// Tracing runs through the anytime engine so the done record can
 		// carry the truncation flag and aggregated cache counters; the
 		// result is bit-identical to the plain alg.Solve path.
-		tw.Start(alg.Name(), *seed, *restarts)
+		tw.Start(alg.Name(), s.Seed, *restarts)
 		start := time.Now()
 		res := core.SolveAnytime(context.Background(), alg, inst)
 		elapsed := time.Since(start)
@@ -283,9 +237,9 @@ func cmdSolve(args []string, out io.Writer) error {
 	} else {
 		m = experiment.Run(inst, alg)
 	}
-	fmt.Fprintf(out, "%s on %s (α=%.0f%%, p=%.0f%%, γ=%.2f, λ=%.0fm, |A|=%d, |U|=%d, |T|=%d)\n",
-		alg.Name(), d.Config.City, *alpha*100, *p*100, *gamma, *lambda,
-		inst.NumAdvertisers(), u.NumBillboards(), u.NumTrajectories())
+	fmt.Fprintf(out, "%s on %s (%s, |A|=%d, |U|=%d, |T|=%d)\n",
+		alg.Name(), info.City, s.Describe(),
+		info.Advertisers, info.Billboards, info.Trajectories)
 	fmt.Fprintf(out, "  total regret:        %.1f\n", m.TotalRegret)
 	fmt.Fprintf(out, "  excessive influence: %.1f (%.1f%%)\n", m.Excess, m.ExcessPct())
 	fmt.Fprintf(out, "  unsatisfied penalty: %.1f (%.1f%%)\n", m.Unsatisfied, m.UnsatisfiedPct())
@@ -378,30 +332,22 @@ func cmdExp(args []string, out io.Writer) error {
 func cmdSim(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sim", flag.ContinueOnError)
 	fs.SetOutput(out)
-	city := fs.String("city", "NYC", "city (NYC or SG)")
-	scale := fs.Float64("scale", 0.12, "fraction of the default dataset scale")
-	seed := fs.Uint64("seed", 42, "seed")
+	spec := catalog.Bind(fs, catalog.FieldDataset|catalog.FieldData|catalog.FieldLambda, specDefaults(0.12))
 	days := fs.Int("days", 30, "simulation horizon in days")
 	arrivals := fs.Int("arrivals", 4, "expected proposals per day")
 	restarts := fs.Int("restarts", 2, "local search restarts per daily allocation")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	c, err := parseCity(*city)
+	s := spec.Spec().Normalized()
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	d, err := catalog.BuildDataset(s)
 	if err != nil {
 		return err
 	}
-	var dcfg dataset.Config
-	if c == dataset.NYC {
-		dcfg = dataset.DefaultNYC(*seed)
-	} else {
-		dcfg = dataset.DefaultSG(*seed)
-	}
-	d, err := dataset.Generate(dcfg.Scale(*scale))
-	if err != nil {
-		return err
-	}
-	u, err := d.BuildUniverse(market.DefaultLambda)
+	u, err := d.BuildUniverse(s.Lambda)
 	if err != nil {
 		return err
 	}
@@ -413,14 +359,14 @@ func cmdSim(args []string, out io.Writer) error {
 		DemandFractionLo: 0.08,
 		DemandFractionHi: 0.22,
 		Gamma:            market.DefaultGamma,
-		Seed:             *seed,
+		Seed:             s.Seed,
 	}
-	results, err := simulate.ComparePolicies(u, core.PaperAlgorithms(*seed, *restarts), cfg)
+	results, err := simulate.ComparePolicies(u, core.PaperAlgorithms(s.Seed, *restarts), cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "%d-day rolling market on %s (%d billboards, %d trips)\n",
-		*days, c, u.NumBillboards(), u.NumTrajectories())
+		*days, d.Config.City, u.NumBillboards(), u.NumTrajectories())
 	tbl := report.NewTable("policy", "revenue", "cum regret", "satisfied", "proposals")
 	for _, name := range []string{"G-Order", "G-Global", "ALS", "BLS"} {
 		r := results[name]
@@ -473,11 +419,7 @@ func cmdGap(args []string, out io.Writer) error {
 func cmdPlan(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("plan", flag.ContinueOnError)
 	fs.SetOutput(out)
-	city := fs.String("city", "NYC", "city (NYC or SG)")
-	scale := fs.Float64("scale", 0.12, "fraction of the default dataset scale")
-	seed := fs.Uint64("seed", 42, "seed")
-	alpha := fs.Float64("alpha", market.DefaultAlpha, "demand-supply ratio α")
-	p := fs.Float64("p", market.DefaultP, "average-individual demand ratio p")
+	spec := catalog.Bind(fs, catalog.FieldsAll, specDefaults(0.12))
 	algName := fs.String("alg", "BLS", "algorithm")
 	restarts := fs.Int("restarts", 3, "local search restarts")
 	workers := fs.Int("workers", 0, "goroutines for the restart loop (0 = GOMAXPROCS); results are identical for any value")
@@ -486,31 +428,13 @@ func cmdPlan(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	c, err := parseCity(*city)
-	if err != nil {
-		return err
-	}
-	var dcfg dataset.Config
-	if c == dataset.NYC {
-		dcfg = dataset.DefaultNYC(*seed)
-	} else {
-		dcfg = dataset.DefaultSG(*seed)
-	}
-	d, err := dataset.Generate(dcfg.Scale(*scale))
-	if err != nil {
-		return err
-	}
-	u, err := d.BuildUniverse(market.DefaultLambda)
-	if err != nil {
-		return err
-	}
-	inst, err := market.NewInstance(u, market.Config{Alpha: *alpha, P: *p},
-		market.DefaultGamma, rng.New(*seed).Derive("market"))
+	s := spec.Spec().Normalized()
+	inst, _, err := catalog.Build(s)
 	if err != nil {
 		return err
 	}
 	alg, err := core.AlgorithmByNameOpts(*algName, core.LocalSearchOptions{
-		Seed: *seed, Restarts: *restarts, Workers: *workers,
+		Seed: s.Seed, Restarts: *restarts, Workers: *workers,
 	})
 	if err != nil {
 		return err

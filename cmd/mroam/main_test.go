@@ -272,6 +272,28 @@ func TestPlanSubcommand(t *testing.T) {
 	}
 }
 
+// TestLambdaFlagChangesResults: the influence radius λ is exposed on sim
+// and plan, and widening it must change the computed numbers — otherwise
+// the flag is plumbed but dead.
+func TestLambdaFlagChangesResults(t *testing.T) {
+	base := runCLI(t, "plan", "-scale", "0.03", "-restarts", "1", "-seed", "11")
+	wide := runCLI(t, "plan", "-scale", "0.03", "-restarts", "1", "-seed", "11", "-lambda", "250")
+	if base == wide {
+		t.Errorf("plan output identical for λ=100m and λ=250m:\n%s", base)
+	}
+	// The same invocation is deterministic, so the only moving part above
+	// is λ itself.
+	if again := runCLI(t, "plan", "-scale", "0.03", "-restarts", "1", "-seed", "11"); again != base {
+		t.Error("plan output not deterministic across runs")
+	}
+
+	simBase := runCLI(t, "sim", "-scale", "0.03", "-days", "3", "-restarts", "1")
+	simWide := runCLI(t, "sim", "-scale", "0.03", "-days", "3", "-restarts", "1", "-lambda", "250")
+	if simBase == simWide {
+		t.Errorf("sim output identical for λ=100m and λ=250m:\n%s", simBase)
+	}
+}
+
 // runCLIErr runs the CLI expecting a possible error.
 func runCLIErr(args ...string) (string, error) {
 	var sb strings.Builder

@@ -1,15 +1,27 @@
-// Command mroamd serves MROAM solves over HTTP: it loads (or generates) one
-// instance at startup and answers POST /solve requests with per-request
-// algorithm and deadline selection on top of the anytime solve engine.
+// Command mroamd serves MROAM solves over HTTP: it preloads a catalog of
+// named instances at startup and answers POST /solve requests with
+// per-request instance, algorithm and deadline selection on top of the
+// anytime solve engine.
 //
 // Usage:
 //
 //	mroamd -addr :8080 -city NYC -scale 0.25 -seed 42
+//	mroamd -addr :8080 -instances specs.json
 //	mroamd -addr :8080 -ops-addr 127.0.0.1:8081 -workers 4 -queue 8
 //
 //	curl -s localhost:8080/solve -d '{"algorithm":"BLS","restarts":5,"deadline_ms":100}'
+//	curl -s localhost:8080/solve -d '{"instance":"sg","algorithm":"BLS"}'
+//	curl -s localhost:8080/instances
+//	curl -s -X PUT localhost:8080/instances/sg -d '{"city":"SG","scale":0.25}'
 //	curl -s localhost:8080/stats
 //	curl -s localhost:8081/metrics
+//
+// Without -instances the dataset/market flags describe a single instance
+// named "default", preserving the original single-instance behavior. With
+// -instances the given JSON file (an array of named catalog specs) is built
+// into the catalog and the first spec becomes the default. Either way the
+// /instances admin endpoints can list, hot-swap and delete instances at
+// runtime without interrupting in-flight solves.
 //
 // The optional -ops-addr listener carries the operational surface —
 // /metrics (Prometheus text exposition), /debug/pprof/*, /debug/vars
@@ -45,11 +57,8 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/market"
+	"repro/internal/catalog"
 	"repro/internal/obs"
-	"repro/internal/rng"
 	"repro/internal/server"
 )
 
@@ -79,14 +88,8 @@ func run(args []string, out io.Writer, ready chan<- addrs) error {
 	addr := fs.String("addr", ":8080", "listen address for the solve API")
 	opsAddr := fs.String("ops-addr", "", "listen address for the ops surface: /metrics, /debug/pprof, /debug/vars, /buildinfo (empty = disabled)")
 	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn or error (debug adds per-restart solver trace events)")
-	city := fs.String("city", "NYC", "city to generate (NYC or SG); ignored when -data is set")
-	data := fs.String("data", "", "load a saved dataset directory instead of generating")
-	scale := fs.Float64("scale", 0.25, "fraction of the default dataset scale")
-	seed := fs.Uint64("seed", 42, "seed for dataset and market generation")
-	alpha := fs.Float64("alpha", market.DefaultAlpha, "demand-supply ratio α")
-	p := fs.Float64("p", market.DefaultP, "average-individual demand ratio p")
-	gamma := fs.Float64("gamma", market.DefaultGamma, "unsatisfied penalty ratio γ")
-	lambda := fs.Float64("lambda", market.DefaultLambda, "influence radius λ in meters")
+	instances := fs.String("instances", "", "JSON file of named instance specs to preload (first entry is the default); replaces the dataset/market flags")
+	specFlags := catalog.Bind(fs, catalog.FieldsAll, catalog.DefaultSpec())
 	workers := fs.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
 	queue := fs.Int("queue", -1, "queued requests beyond the workers (-1 = 2×workers); overflow answers 429")
 	defaultDeadline := fs.Duration("default-deadline", 0, "deadline applied when a request omits deadline_ms (0 = none)")
@@ -103,12 +106,12 @@ func run(args []string, out io.Writer, ready chan<- addrs) error {
 	}
 	logger := obs.NewLogger(out, level)
 
-	inst, err := buildInstance(*city, *data, *scale, *seed, *alpha, *p, *gamma, *lambda)
+	cat, err := buildCatalog(*instances, specFlags.Spec(), fs, logger)
 	if err != nil {
 		return err
 	}
 	srv, err := server.New(server.Config{
-		Instance:        inst,
+		Catalog:         cat,
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		DefaultDeadline: *defaultDeadline,
@@ -155,9 +158,12 @@ func run(args []string, out io.Writer, ready chan<- addrs) error {
 	// The listeners are live as soon as net.Listen returns (connections
 	// queue in the accept backlog), so the startup record and readiness
 	// signal happen here.
+	def, _ := cat.Get("")
 	logger.Info("serving",
-		"billboards", inst.Universe().NumBillboards(),
-		"advertisers", inst.NumAdvertisers(),
+		"instances", cat.Len(),
+		"default", def.Name,
+		"billboards", def.Info.Billboards,
+		"advertisers", def.Info.Advertisers,
 		"addr", ln.Addr().String(),
 		"ops_addr", opsBound)
 	if ready != nil {
@@ -224,32 +230,51 @@ func handleBuildInfo(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprint(w, bi.String())
 }
 
-// buildInstance loads or generates the dataset and derives the market the
-// daemon serves, mirroring `mroam solve`'s instance construction.
-func buildInstance(city, data string, scale float64, seed uint64, alpha, p, gamma, lambda float64) (*core.Instance, error) {
-	var d *dataset.Dataset
-	var err error
-	if data != "" {
-		d, err = dataset.Load(data)
-	} else {
-		var cfg dataset.Config
-		switch strings.ToUpper(city) {
-		case "NYC":
-			cfg = dataset.DefaultNYC(seed)
-		case "SG":
-			cfg = dataset.DefaultSG(seed)
-		default:
-			return nil, fmt.Errorf("unknown city %q (want NYC or SG)", city)
+// buildCatalog assembles the daemon's instance fleet: either the single
+// "default" instance the dataset/market flags describe, or every spec in
+// the -instances file (whose first entry becomes the default).
+func buildCatalog(instancesPath string, flagSpec catalog.Spec, fs *flag.FlagSet, logger *slog.Logger) (*catalog.Catalog, error) {
+	cat := catalog.New()
+	if instancesPath == "" {
+		e, err := cat.Load("default", flagSpec)
+		if err != nil {
+			return nil, err
 		}
-		d, err = dataset.Generate(cfg.Scale(scale))
+		logInstance(logger, e)
+		return cat, nil
 	}
+	// A fleet file owns the instance definitions; silently ignoring the
+	// per-instance flags would hide a misconfiguration.
+	var clash []string
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "city", "data", "scale", "seed", "alpha", "p", "gamma", "lambda":
+			clash = append(clash, "-"+f.Name)
+		}
+	})
+	if len(clash) > 0 {
+		return nil, fmt.Errorf("-instances conflicts with %s: the specs file defines each instance", strings.Join(clash, ", "))
+	}
+	specs, err := catalog.ReadSpecsFile(instancesPath)
 	if err != nil {
 		return nil, err
 	}
-	u, err := d.BuildUniverse(lambda)
-	if err != nil {
-		return nil, err
+	for _, spec := range specs {
+		e, err := cat.Load(spec.Name, spec)
+		if err != nil {
+			return nil, fmt.Errorf("instance %q: %w", spec.Name, err)
+		}
+		logInstance(logger, e)
 	}
-	return market.NewInstance(u, market.Config{Alpha: alpha, P: p}, gamma,
-		rng.New(seed).Derive("market"))
+	return cat, nil
+}
+
+func logInstance(logger *slog.Logger, e *catalog.Entry) {
+	logger.Info("instance loaded",
+		"instance", e.Name,
+		"generation", e.Generation,
+		"billboards", e.Info.Billboards,
+		"advertisers", e.Info.Advertisers,
+		"params", e.Spec.Describe(),
+		"build_ms", e.Info.BuildMS)
 }

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"testing"
@@ -12,23 +14,6 @@ import (
 
 	"repro/internal/obs"
 )
-
-func TestBuildInstance(t *testing.T) {
-	inst, err := buildInstance("NYC", "", 0.02, 42, 2.0, 0.02, 0.5, 100)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if inst.Universe().NumBillboards() == 0 || inst.NumAdvertisers() == 0 {
-		t.Fatalf("empty instance: %d billboards, %d advertisers",
-			inst.Universe().NumBillboards(), inst.NumAdvertisers())
-	}
-	if _, err := buildInstance("Atlantis", "", 0.02, 42, 2.0, 0.02, 0.5, 100); err == nil {
-		t.Error("unknown city accepted")
-	}
-	if _, err := buildInstance("NYC", "/nonexistent/dataset", 0.02, 42, 2.0, 0.02, 0.5, 100); err == nil {
-		t.Error("missing dataset directory accepted")
-	}
-}
 
 func TestRunFlagErrors(t *testing.T) {
 	var buf bytes.Buffer
@@ -38,8 +23,134 @@ func TestRunFlagErrors(t *testing.T) {
 	if err := run([]string{"-city", "Atlantis"}, &buf, nil); err == nil {
 		t.Error("unknown city accepted")
 	}
+	if err := run([]string{"-data", "/nonexistent/dataset"}, &buf, nil); err == nil {
+		t.Error("missing dataset directory accepted")
+	}
 	if err := run([]string{"-addr", "not-an-address", "-scale", "0.02"}, &buf, nil); err == nil {
 		t.Error("unlistenable address accepted")
+	}
+	if err := run([]string{"-instances", "/nonexistent/specs.json"}, &buf, nil); err == nil {
+		t.Error("missing specs file accepted")
+	}
+	// -instances owns the instance definitions; mixing in per-instance
+	// flags is a configuration error, not a silent override.
+	specs := filepath.Join(t.TempDir(), "specs.json")
+	if err := os.WriteFile(specs, []byte(`[{"name":"a","scale":0.02}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-instances", specs, "-city", "SG"}, &buf, nil)
+	if err == nil || !strings.Contains(err.Error(), "-city") {
+		t.Errorf("spec-flag clash with -instances: %v", err)
+	}
+}
+
+// TestRunInstancesFleet boots the daemon from a fleet file, solves against
+// each named instance, and hot-swaps one over the admin API.
+func TestRunInstancesFleet(t *testing.T) {
+	specs := filepath.Join(t.TempDir(), "specs.json")
+	fleet := `[
+  {"name": "nyc", "city": "NYC", "scale": 0.02, "seed": 5, "alpha": 2.0, "p": 0.1},
+  {"name": "sg", "city": "SG", "scale": 0.02, "seed": 7, "alpha": 2.0, "p": 0.1}
+]`
+	if err := os.WriteFile(specs, []byte(fleet), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	ready := make(chan addrs, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-instances", specs, "-workers", "2"}, &buf, ready)
+	}()
+	var bound addrs
+	select {
+	case bound = <-ready:
+	case err := <-done:
+		t.Fatalf("run exited before serving: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never came up")
+	}
+	base := "http://" + bound.api
+
+	// The first spec is the default: healthz reports it.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Default   string `json:"default"`
+		Instances int    `json:"instances"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Default != "nyc" || health.Instances != 2 {
+		t.Errorf("healthz default=%q instances=%d, want nyc/2", health.Default, health.Instances)
+	}
+
+	// Both named instances answer, each reporting its own identity.
+	for _, name := range []string{"nyc", "sg"} {
+		resp, err := http.Post(base+"/solve", "application/json",
+			strings.NewReader(`{"instance":"`+name+`","algorithm":"G-Order"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve %s: %d: %s", name, resp.StatusCode, body)
+		}
+		var solved struct {
+			Instance   string `json:"instance"`
+			Generation uint64 `json:"generation"`
+		}
+		if err := json.Unmarshal(body, &solved); err != nil {
+			t.Fatalf("decode %s: %v", body, err)
+		}
+		if solved.Instance != name || solved.Generation == 0 {
+			t.Errorf("solve %s reported %q gen %d", name, solved.Instance, solved.Generation)
+		}
+	}
+
+	// Hot-swap "sg" with a new seed: generation advances past both boots.
+	req, err := http.NewRequest(http.MethodPut, base+"/instances/sg",
+		strings.NewReader(`{"city":"SG","scale":0.02,"seed":8,"alpha":2.0,"p":0.1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload sg: %d: %s", resp.StatusCode, body)
+	}
+	var info struct {
+		Generation uint64 `json:"generation"`
+	}
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Generation <= 2 {
+		t.Errorf("reload generation %d, want above the 2 boot loads", info.Generation)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never drained")
+	}
+	if out := buf.String(); !strings.Contains(out, `"instance":"sg"`) {
+		t.Errorf("missing instance-loaded log lines:\n%s", out)
 	}
 }
 

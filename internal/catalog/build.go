@@ -1,0 +1,89 @@
+package catalog
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/coverage"
+	"repro/internal/dataset"
+	"repro/internal/market"
+	"repro/internal/rng"
+)
+
+// BuildInfo summarizes what Build produced — the dimensions a server
+// reports per instance and the CLI prints in its solve banner.
+type BuildInfo struct {
+	// City is the dataset's city name ("NYC" or "SG"), including for
+	// datasets loaded from a directory.
+	City string `json:"city"`
+	// Trajectories is |T|, Billboards |U|, Advertisers |A|.
+	Trajectories int `json:"trajectories"`
+	Billboards   int `json:"billboards"`
+	Advertisers  int `json:"advertisers"`
+	// BuildMS is the wall-clock build time in milliseconds.
+	BuildMS float64 `json:"build_ms"`
+}
+
+// BuildDataset loads (Spec.Data) or generates (Spec.City at Spec.Scale) the
+// dataset a Spec names. This is the repository's single call site of
+// dataset.Load/dataset.Generate outside tests; every CLI subcommand and the
+// daemon route through it.
+func BuildDataset(s Spec) (*dataset.Dataset, error) {
+	if s.Data != "" {
+		return dataset.Load(s.Data)
+	}
+	var cfg dataset.Config
+	switch strings.ToUpper(s.City) {
+	case "", "NYC":
+		cfg = dataset.DefaultNYC(s.Seed)
+	case "SG":
+		cfg = dataset.DefaultSG(s.Seed)
+	default:
+		return nil, fmt.Errorf("catalog: unknown city %q (want NYC or SG)", s.City)
+	}
+	return dataset.Generate(cfg.Scale(s.Scale))
+}
+
+// Market generates the advertiser set for the universe and wraps it into an
+// instance — the repository's single call site of market.NewInstance
+// outside tests. It exists separately from Build for callers (the
+// experiment harness) that cache universes and derive their own market RNG
+// streams.
+func Market(u *coverage.Universe, cfg market.Config, gamma float64, r *rng.RNG) (*core.Instance, error) {
+	return market.NewInstance(u, cfg, gamma, r)
+}
+
+// Build runs the full pipeline for one Spec: dataset (generate or load) →
+// coverage universe at λ → advertiser market at (α, p, γ). The returned
+// instance is immutable and safe for any number of concurrent solves; equal
+// Specs build instances on which the solvers return bit-identical plans.
+func Build(s Spec) (*core.Instance, BuildInfo, error) {
+	start := time.Now()
+	s = s.Normalized()
+	if err := s.Validate(); err != nil {
+		return nil, BuildInfo{}, err
+	}
+	d, err := BuildDataset(s)
+	if err != nil {
+		return nil, BuildInfo{}, err
+	}
+	u, err := d.BuildUniverse(s.Lambda)
+	if err != nil {
+		return nil, BuildInfo{}, err
+	}
+	inst, err := Market(u, market.Config{Alpha: s.Alpha, P: s.P}, *s.Gamma,
+		rng.New(s.Seed).Derive("market"))
+	if err != nil {
+		return nil, BuildInfo{}, err
+	}
+	info := BuildInfo{
+		City:         d.Config.City.String(),
+		Trajectories: u.NumTrajectories(),
+		Billboards:   u.NumBillboards(),
+		Advertisers:  inst.NumAdvertisers(),
+		BuildMS:      float64(time.Since(start).Microseconds()) / 1e3,
+	}
+	return inst, info, nil
+}

@@ -1,0 +1,191 @@
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// ErrNotFound reports a name with no loaded instance (servers map it to
+// 404).
+var ErrNotFound = errors.New("catalog: instance not found")
+
+// ErrDefaultDelete reports an attempt to delete the default instance
+// (servers map it to 409): a catalog that serves traffic must always be
+// able to answer a request that names no instance.
+var ErrDefaultDelete = errors.New("catalog: cannot delete the default instance")
+
+// Entry is one immutable loaded instance: the snapshot a solve runs
+// against. Reloading a name installs a brand-new Entry; existing solves
+// keep the Entry they resolved and are unaffected (the old snapshot is
+// garbage-collected when the last solve holding it finishes).
+type Entry struct {
+	// Name is the catalog name the entry is registered under.
+	Name string
+	// Generation is a catalog-wide monotone counter stamped when the
+	// entry was installed; a reload of the same name always carries a
+	// strictly larger generation, so a response reporting (name,
+	// generation) identifies exactly one build.
+	Generation uint64
+	// Spec is the normalized spec the entry was built from; the zero Spec
+	// for entries registered from a pre-built instance.
+	Spec Spec
+	// Info carries the build dimensions (|T|, |U|, |A|, city, build time).
+	Info BuildInfo
+	// Instance is the immutable problem instance.
+	Instance *core.Instance
+}
+
+// snapshot is the immutable state the readers see: one atomic pointer swap
+// publishes a whole new name→entry map.
+type snapshot struct {
+	entries     map[string]*Entry
+	defaultName string
+}
+
+// Catalog is a named registry of immutable instance snapshots with atomic
+// hot-swap. Reads (Get/List/Len) are lock-free: they follow one
+// atomic.Pointer to an immutable snapshot, so a reload never blocks or
+// perturbs in-flight solves. Writes (Load/AddInstance/Delete) serialize on
+// a mutex but only to swap the pointer — instance building happens outside
+// the lock.
+//
+// The first instance registered becomes the default (the one Get("")
+// resolves); deleting the default is refused.
+type Catalog struct {
+	mu   sync.Mutex // writers only; never held while building
+	snap atomic.Pointer[snapshot]
+	gen  atomic.Uint64
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	c := &Catalog{}
+	c.snap.Store(&snapshot{entries: map[string]*Entry{}})
+	return c
+}
+
+// install swaps in a new snapshot with the given entry added/replaced,
+// stamping its generation. It is the single writer commit point.
+func (c *Catalog) install(e *Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := c.snap.Load()
+	next := &snapshot{
+		entries:     make(map[string]*Entry, len(old.entries)+1),
+		defaultName: old.defaultName,
+	}
+	for k, v := range old.entries {
+		next.entries[k] = v
+	}
+	e.Generation = c.gen.Add(1)
+	next.entries[e.Name] = e
+	if next.defaultName == "" {
+		next.defaultName = e.Name
+	}
+	c.snap.Store(next)
+}
+
+// Load builds the spec and installs the result under name, replacing any
+// previous entry atomically. The build runs outside the catalog lock, so
+// concurrent solves (and even concurrent loads of other names) proceed
+// undisturbed; on build error the catalog is unchanged.
+func (c *Catalog) Load(name string, spec Spec) (*Entry, error) {
+	if err := ValidateName(name); err != nil {
+		return nil, err
+	}
+	spec = spec.Normalized()
+	spec.Name = name
+	inst, info, err := Build(spec)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: load %q: %w", name, err)
+	}
+	e := &Entry{Name: name, Spec: spec, Info: info, Instance: inst}
+	c.install(e)
+	return e, nil
+}
+
+// AddInstance installs an already-built instance under name — the path for
+// embedders and tests that construct instances directly rather than from a
+// Spec. The entry's Spec is zero; its Info carries the instance dimensions.
+func (c *Catalog) AddInstance(name string, inst *core.Instance) (*Entry, error) {
+	if err := ValidateName(name); err != nil {
+		return nil, err
+	}
+	if inst == nil {
+		return nil, errors.New("catalog: nil instance")
+	}
+	e := &Entry{
+		Name: name,
+		Info: BuildInfo{
+			Trajectories: inst.Universe().NumTrajectories(),
+			Billboards:   inst.Universe().NumBillboards(),
+			Advertisers:  inst.NumAdvertisers(),
+		},
+		Instance: inst,
+	}
+	c.install(e)
+	return e, nil
+}
+
+// Get resolves name to its current entry; the empty name resolves the
+// default instance. Lock-free.
+func (c *Catalog) Get(name string) (*Entry, bool) {
+	s := c.snap.Load()
+	if name == "" {
+		name = s.defaultName
+		if name == "" {
+			return nil, false
+		}
+	}
+	e, ok := s.entries[name]
+	return e, ok
+}
+
+// Delete removes name from the catalog. The default instance cannot be
+// deleted; deleting an unknown name returns ErrNotFound. Solves already
+// holding the entry finish normally.
+func (c *Catalog) Delete(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := c.snap.Load()
+	if _, ok := old.entries[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if name == old.defaultName {
+		return fmt.Errorf("%w: %q", ErrDefaultDelete, name)
+	}
+	next := &snapshot{
+		entries:     make(map[string]*Entry, len(old.entries)-1),
+		defaultName: old.defaultName,
+	}
+	for k, v := range old.entries {
+		if k != name {
+			next.entries[k] = v
+		}
+	}
+	c.snap.Store(next)
+	return nil
+}
+
+// List returns the current entries sorted by name. Lock-free.
+func (c *Catalog) List() []*Entry {
+	s := c.snap.Load()
+	out := make([]*Entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of loaded instances. Lock-free.
+func (c *Catalog) Len() int { return len(c.snap.Load().entries) }
+
+// DefaultName returns the name of the default instance ("" while the
+// catalog is empty). Lock-free.
+func (c *Catalog) DefaultName() string { return c.snap.Load().defaultName }

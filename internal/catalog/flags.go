@@ -1,0 +1,137 @@
+package catalog
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Fields selects which flag groups Bind registers, so each command exposes
+// exactly the knobs that affect it.
+type Fields uint8
+
+const (
+	// FieldDataset registers -city, -scale and -seed.
+	FieldDataset Fields = 1 << iota
+	// FieldData registers -data (load a saved dataset directory).
+	FieldData
+	// FieldLambda registers -lambda (influence radius).
+	FieldLambda
+	// FieldMarket registers -alpha, -p and -gamma.
+	FieldMarket
+
+	// FieldsAll registers every Spec flag — the full instance pipeline.
+	FieldsAll = FieldDataset | FieldData | FieldLambda | FieldMarket
+)
+
+// Flags is the handle Bind returns; read the parsed Spec back with Spec().
+type Flags struct {
+	fields Fields
+	base   Spec
+
+	city, data *string
+	scale      *float64
+	seed       *uint64
+	alpha      *float64
+	p          *float64
+	gamma      *float64
+	lambda     *float64
+}
+
+// Bind registers the shared instance flags on fs — the one Spec-from-flags
+// helper every mroam subcommand and mroamd share, replacing the per-command
+// flag plumbing. defaults seeds the flag default values (commands usually
+// pass DefaultSpec with an adjusted Scale); unregistered groups keep their
+// defaults from it.
+func Bind(fs *flag.FlagSet, fields Fields, defaults Spec) *Flags {
+	defaults = defaults.Normalized()
+	f := &Flags{fields: fields, base: defaults}
+	if fields&FieldDataset != 0 {
+		f.city = fs.String("city", defaults.City, "city (NYC or SG); ignored when -data is set")
+		f.scale = fs.Float64("scale", defaults.Scale, "fraction of the default dataset scale")
+		f.seed = fs.Uint64("seed", defaults.Seed, "seed for dataset, market and search")
+	}
+	if fields&FieldData != 0 {
+		f.data = fs.String("data", defaults.Data, "load a saved dataset directory instead of generating")
+	}
+	if fields&FieldMarket != 0 {
+		f.alpha = fs.Float64("alpha", defaults.Alpha, "demand-supply ratio α")
+		f.p = fs.Float64("p", defaults.P, "average-individual demand ratio p")
+		f.gamma = fs.Float64("gamma", *defaults.Gamma, "unsatisfied penalty ratio γ")
+	}
+	if fields&FieldLambda != 0 {
+		f.lambda = fs.Float64("lambda", defaults.Lambda, "influence radius λ in meters")
+	}
+	return f
+}
+
+// Spec returns the Spec the parsed flags describe. Groups that were not
+// registered keep the defaults Bind was given.
+func (f *Flags) Spec() Spec {
+	s := f.base
+	if f.city != nil {
+		s.City, s.Scale, s.Seed = *f.city, *f.scale, *f.seed
+	}
+	if f.data != nil {
+		s.Data = *f.data
+	}
+	if f.alpha != nil {
+		s.Alpha, s.P, s.Gamma = *f.alpha, *f.p, GammaPtr(*f.gamma)
+	}
+	if f.lambda != nil {
+		s.Lambda = *f.lambda
+	}
+	return s
+}
+
+// ReadSpecs decodes a fleet file: a JSON array of Specs, each with a
+// required, unique name. It is the format of `mroamd -instances`.
+func ReadSpecs(r io.Reader) ([]Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var specs []Spec
+	if err := dec.Decode(&specs); err != nil {
+		return nil, fmt.Errorf("catalog: decode specs: %w", err)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("catalog: specs file lists no instances")
+	}
+	seen := make(map[string]bool, len(specs))
+	for i, s := range specs {
+		if s.Name == "" {
+			return nil, fmt.Errorf("catalog: spec %d is missing a name", i)
+		}
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("catalog: spec %q: %w", s.Name, err)
+		}
+		if seen[s.Name] {
+			return nil, fmt.Errorf("catalog: duplicate instance name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	return specs, nil
+}
+
+// ReadSpecsFile is ReadSpecs over a file path.
+func ReadSpecsFile(path string) ([]Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	specs, err := ReadSpecs(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return specs, nil
+}
+
+// Describe renders the human-readable parameter banner the CLI prints:
+// "α=100%, p=5%, γ=0.50, λ=100m".
+func (s Spec) Describe() string {
+	n := s.Normalized()
+	return fmt.Sprintf("α=%.0f%%, p=%.0f%%, γ=%.2f, λ=%.0fm",
+		n.Alpha*100, n.P*100, *n.Gamma, n.Lambda)
+}

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/coverage"
 	"repro/internal/dataset"
@@ -143,16 +144,11 @@ func (r *Runner) Dataset(city dataset.City) (*dataset.Dataset, error) {
 	if d, ok := r.datasets[city]; ok {
 		return d, nil
 	}
-	var cfg dataset.Config
-	switch city {
-	case dataset.NYC:
-		cfg = dataset.DefaultNYC(r.cfg.Seed)
-	case dataset.SG:
-		cfg = dataset.DefaultSG(r.cfg.Seed)
-	default:
-		return nil, fmt.Errorf("experiment: unknown city %d", city)
-	}
-	d, err := dataset.Generate(cfg.Scale(r.cfg.Scale))
+	d, err := catalog.BuildDataset(catalog.Spec{
+		City:  city.String(),
+		Scale: r.cfg.Scale,
+		Seed:  r.cfg.Seed,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -192,7 +188,7 @@ func (r *Runner) instance(city dataset.City, alpha, p, gamma, lambda float64) (*
 		return nil, err
 	}
 	mr := rng.New(r.cfg.Seed).Derive(fmt.Sprintf("market/%s/a%.2f/p%.2f", city, alpha, p))
-	return market.NewInstance(u, market.Config{Alpha: alpha, P: p}, gamma, mr)
+	return catalog.Market(u, market.Config{Alpha: alpha, P: p}, gamma, mr)
 }
 
 // algorithms returns the paper's four methods configured for this runner.

@@ -79,6 +79,22 @@ func (v *CounterVec) With(values ...string) *Counter {
 	return &ch.c
 }
 
+// Delete removes the child with the given label values from the family, so
+// a retired label value (e.g. a catalog instance that was deleted) stops
+// appearing in the exposition. Deleting an absent child is a no-op. Callers
+// holding the *Counter from a previous With keep a detached counter; a
+// later With for the same values starts a fresh child at zero, which is the
+// Prometheus reset semantic for a series that disappeared.
+func (v *CounterVec) Delete(values ...string) {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: %s has %d labels, got %d values", v.name, len(v.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	v.mu.Lock()
+	delete(v.children, key)
+	v.mu.Unlock()
+}
+
 // Each calls f for every child in the family, in unspecified order, with
 // the child's label values and current count.
 func (v *CounterVec) Each(f func(values []string, count int64)) {

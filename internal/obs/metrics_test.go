@@ -186,6 +186,32 @@ func TestCounterVecConcurrentWith(t *testing.T) {
 	}
 }
 
+// TestCounterVecDelete: a deleted child disappears from Each and the
+// exposition, and a later With starts a fresh series at zero.
+func TestCounterVecDelete(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("t_del", "x", "who")
+	v.With("keep").Add(3)
+	v.With("drop").Add(5)
+	v.Delete("drop")
+	v.Delete("never-existed") // no-op
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `t_del{who="keep"} 3`) {
+		t.Errorf("kept series missing:\n%s", out)
+	}
+	if strings.Contains(out, "drop") {
+		t.Errorf("deleted series still exposed:\n%s", out)
+	}
+	if got := v.With("drop").Value(); got != 0 {
+		t.Errorf("recreated child starts at %d, want 0", got)
+	}
+}
+
 // TestRegistryPanics: misuse (duplicate names, bad names, reserved labels,
 // bad buckets) must fail loudly at registration time, not at scrape time.
 func TestRegistryPanics(t *testing.T) {

@@ -1,0 +1,526 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+)
+
+// serverSpec is a catalog spec small enough to rebuild repeatedly inside
+// tests (a few ms per build).
+func serverSpec(seed uint64) catalog.Spec {
+	return catalog.Spec{City: "NYC", Scale: 0.02, Seed: seed, Alpha: 2.0, P: 0.1}
+}
+
+// latencyRE normalizes the only nondeterministic field in a /solve response.
+var latencyRE = regexp.MustCompile(`"latency_ms": [0-9.eE+-]+`)
+
+// TestSolveDefaultGolden pins the catalog refactor's back-compat contract:
+// a /solve request that does not name an instance answers byte-for-byte
+// what the single-instance server answered (the golden was captured before
+// the Config.Instance → Config.Catalog change), latency aside. In
+// particular no instance/generation keys may appear.
+func TestSolveDefaultGolden(t *testing.T) {
+	inst := testInstance(t, 200, 30, 4)
+	s, err := New(Config{Catalog: catalogFor(t, inst), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(SolveRequest{Algorithm: "BLS", Restarts: 3, Seed: 9})
+	resp, err := ts.Client().Post(ts.URL+"/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	got := latencyRE.ReplaceAll(raw, []byte(`"latency_ms": 0`))
+
+	want, err := os.ReadFile(filepath.Join("testdata", "solve_default.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("default-instance response drifted from the pre-catalog wire format:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestSolveNamedInstance: naming an instance routes the solve to it and the
+// response reports the snapshot actually solved — name, generation, and the
+// dimensions of that instance, not the default's.
+func TestSolveNamedInstance(t *testing.T) {
+	cat := catalog.New()
+	if _, err := cat.Load("nyc", serverSpec(5)); err != nil {
+		t.Fatal(err)
+	}
+	// A second instance with a different advertiser count (α=1 ⇒ 20 vs 10),
+	// so routing to the wrong one is visible in the response dims.
+	other := serverSpec(5)
+	other.Alpha = 1.0
+	if _, err := cat.Load("alt", other); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Catalog: cat, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	status, def, _ := postSolve(t, ts.Client(), ts.URL, SolveRequest{Algorithm: "G-Global"})
+	if status != http.StatusOK {
+		t.Fatalf("default solve: %d", status)
+	}
+	if def.Instance != "" || def.Generation != 0 {
+		t.Errorf("default solve leaked instance identity: %q gen %d", def.Instance, def.Generation)
+	}
+
+	status, alt, _ := postSolve(t, ts.Client(), ts.URL, SolveRequest{Algorithm: "G-Global", Instance: "alt"})
+	if status != http.StatusOK {
+		t.Fatalf("named solve: %d", status)
+	}
+	altEntry, _ := cat.Get("alt")
+	if alt.Instance != "alt" || alt.Generation != altEntry.Generation {
+		t.Errorf("named solve reported %q gen %d, want alt gen %d", alt.Instance, alt.Generation, altEntry.Generation)
+	}
+	if alt.Advertisers != altEntry.Instance.NumAdvertisers() || alt.Advertisers == def.Advertisers {
+		t.Errorf("named solve dims %d, want alt's %d (default has %d)",
+			alt.Advertisers, altEntry.Instance.NumAdvertisers(), def.Advertisers)
+	}
+
+	status, _, fail := postSolve(t, ts.Client(), ts.URL, SolveRequest{Algorithm: "G-Global", Instance: "nope"})
+	if status != http.StatusNotFound || !strings.Contains(fail.Error, "nope") {
+		t.Errorf("unknown instance: %d (%s), want 404", status, fail.Error)
+	}
+}
+
+// TestInstanceAdminEndpoints walks the admin lifecycle: list, create via
+// PUT, reload, delete, and every error path's status code.
+func TestInstanceAdminEndpoints(t *testing.T) {
+	cat := catalog.New()
+	if _, err := cat.Load("main", serverSpec(5)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Catalog: cat, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	doPut := func(name, body string) (int, InstanceInfo, errorResponse) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPut, ts.URL+"/instances/"+name, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		var info InstanceInfo
+		var fail errorResponse
+		if resp.StatusCode < 300 {
+			if err := json.Unmarshal(raw, &info); err != nil {
+				t.Fatalf("decode %d body %q: %v", resp.StatusCode, raw, err)
+			}
+		} else {
+			_ = json.Unmarshal(raw, &fail)
+		}
+		return resp.StatusCode, info, fail
+	}
+	doDelete := func(name string) int {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+"/instances/"+name, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	list := func() []InstanceInfo {
+		t.Helper()
+		resp, err := client.Get(ts.URL + "/instances")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /instances: %d", resp.StatusCode)
+		}
+		var infos []InstanceInfo
+		if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+			t.Fatal(err)
+		}
+		return infos
+	}
+
+	if infos := list(); len(infos) != 1 || infos[0].Name != "main" || !infos[0].Default {
+		t.Fatalf("initial list %+v, want [main (default)]", infos)
+	}
+
+	// Create: 201, with dims and generation.
+	status, info, _ := doPut("sg", `{"city":"SG","scale":0.02,"seed":7}`)
+	if status != http.StatusCreated {
+		t.Fatalf("create: %d", status)
+	}
+	if info.Name != "sg" || info.Default || info.Info.Billboards == 0 || info.Spec.City != "SG" {
+		t.Errorf("created info %+v", info)
+	}
+
+	// Reload the same name: 200, generation strictly above.
+	status, again, _ := doPut("sg", `{"city":"SG","scale":0.02,"seed":8}`)
+	if status != http.StatusOK {
+		t.Fatalf("reload: %d", status)
+	}
+	if again.Generation <= info.Generation || again.Spec.Seed != 8 {
+		t.Errorf("reload info %+v after %+v", again, info)
+	}
+
+	// Error paths.
+	if status, _, fail := doPut("sg", `{"city":"Atlantis"}`); status != http.StatusBadRequest {
+		t.Errorf("bad city: %d (%s)", status, fail.Error)
+	}
+	if status, _, fail := doPut("sg", `{"name":"other"}`); status != http.StatusBadRequest {
+		t.Errorf("name mismatch: %d (%s)", status, fail.Error)
+	}
+	if status, _, fail := doPut("bad%20name", `{}`); status != http.StatusBadRequest {
+		t.Errorf("invalid name: %d (%s)", status, fail.Error)
+	}
+	if status, _, fail := doPut("sg", `{"frobnicate":1}`); status != http.StatusBadRequest {
+		t.Errorf("unknown field: %d (%s)", status, fail.Error)
+	}
+
+	// Solve the new instance once so it owns a metric series, then delete.
+	if status, _, _ := postSolve(t, client, ts.URL, SolveRequest{Algorithm: "G-Order", Instance: "sg"}); status != http.StatusOK {
+		t.Fatalf("solve sg: %d", status)
+	}
+	if status := doDelete("main"); status != http.StatusConflict {
+		t.Errorf("delete default: %d, want 409", status)
+	}
+	if status := doDelete("missing"); status != http.StatusNotFound {
+		t.Errorf("delete missing: %d, want 404", status)
+	}
+	if status := doDelete("sg"); status != http.StatusNoContent {
+		t.Errorf("delete sg: %d, want 204", status)
+	}
+	if infos := list(); len(infos) != 1 || infos[0].Name != "main" {
+		t.Errorf("list after delete %+v", infos)
+	}
+
+	// The deleted instance's series is retired from the exposition.
+	resp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.Contains(string(expo), `mroamd_instance_requests_total{instance="sg"}`) {
+		t.Errorf("deleted instance still in exposition:\n%s", expo)
+	}
+	if !strings.Contains(string(expo), "mroamd_instances_loaded 1") {
+		t.Errorf("instances gauge wrong:\n%s", expo)
+	}
+}
+
+// TestStatsPerInstance: /stats joins each loaded instance's identity and
+// dimensions with its request count, and /metrics carries the same counts
+// under mroamd_instance_requests_total.
+func TestStatsPerInstance(t *testing.T) {
+	cat := catalog.New()
+	if _, err := cat.Load("a", serverSpec(5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.Load("b", serverSpec(6)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Catalog: cat, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Two solves against "a" (one implicit via the default), one against "b".
+	for _, name := range []string{"", "a", "b"} {
+		if status, _, fail := postSolve(t, ts.Client(), ts.URL,
+			SolveRequest{Algorithm: "G-Order", Instance: name}); status != http.StatusOK {
+			t.Fatalf("solve %q: %d (%s)", name, status, fail.Error)
+		}
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	entryA, _ := cat.Get("a")
+	want := fmt.Sprintf("%v", []InstanceCount{
+		{Instance: "a", Generation: entryA.Generation,
+			Billboards: entryA.Info.Billboards, Advertisers: entryA.Info.Advertisers, Requests: 2},
+		{Instance: "b", Generation: 2,
+			Billboards: stats.PerInstance[1].Billboards, Advertisers: stats.PerInstance[1].Advertisers, Requests: 1},
+	})
+	if got := fmt.Sprintf("%v", stats.PerInstance); got != want {
+		t.Errorf("per_instance %s, want %s", got, want)
+	}
+
+	resp, err = ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, line := range []string{
+		`mroamd_instance_requests_total{instance="a"} 2`,
+		`mroamd_instance_requests_total{instance="b"} 1`,
+		"mroamd_instances_loaded 2",
+	} {
+		if !strings.Contains(string(expo), line) {
+			t.Errorf("exposition missing %q:\n%s", line, expo)
+		}
+	}
+}
+
+// baselineFor solves one catalog build the way the hammer requests do, so a
+// server response can be matched against the exact build it claims to have
+// solved.
+type solveBaseline struct {
+	regret      float64
+	evals       int64
+	advertisers int
+}
+
+func baselineFor(tb testing.TB, spec catalog.Spec) solveBaseline {
+	tb.Helper()
+	inst, _, err := catalog.Build(spec)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	res := core.SolveAnytime(context.Background(),
+		core.BLSAlgorithm{Opts: core.LocalSearchOptions{Seed: 9, Restarts: 2, Workers: 1}}, inst)
+	return solveBaseline{regret: res.TotalRegret, evals: res.Evals, advertisers: inst.NumAdvertisers()}
+}
+
+// TestHotSwapUnderLoad is the catalog's core concurrency contract, run
+// under -race: clients hammer /solve on instance "A" while a writer keeps
+// PUT-reloading "A" with a different seed. Every response must be
+// internally consistent — its (regret, evals, advertisers) triple matches
+// exactly one of the two builds, never a mix — and nothing may leak.
+func TestHotSwapUnderLoad(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	specOld, specNew := serverSpec(5), serverSpec(6)
+	baseOld, baseNew := baselineFor(t, specOld), baselineFor(t, specNew)
+	if baseOld == baseNew {
+		t.Fatalf("test needs distinguishable builds, both gave %+v", baseOld)
+	}
+
+	cat := catalog.New()
+	if _, err := cat.Load("A", specOld); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Catalog: cat, Workers: 4, QueueDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+
+	matches := func(r SolveResponse, b solveBaseline) bool {
+		return r.TotalRegret == b.regret && r.Evals == b.evals && r.Advertisers == b.advertisers
+	}
+
+	const clients, perClient = 4, 25
+	var sawOld, sawNew atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				status, got, fail := postSolve(t, ts.Client(), ts.URL,
+					SolveRequest{Algorithm: "BLS", Restarts: 2, Seed: 9, Instance: "A"})
+				if status != http.StatusOK {
+					t.Errorf("solve: %d (%s)", status, fail.Error)
+					return
+				}
+				switch {
+				case matches(got, baseOld):
+					sawOld.Add(1)
+				case matches(got, baseNew):
+					sawNew.Add(1)
+				default:
+					t.Errorf("torn response %+v matches neither build (old %+v, new %+v)",
+						got, baseOld, baseNew)
+					return
+				}
+				if got.Instance != "A" || got.Generation == 0 || got.Truncated {
+					t.Errorf("inconsistent response identity: %+v", got)
+					return
+				}
+			}
+		}()
+	}
+
+	// The writer alternates the two specs, so readers race an endless
+	// stream of swaps rather than a single lucky one.
+	swapDone := make(chan struct{})
+	go func() {
+		defer close(swapDone)
+		for i := 0; i < 20; i++ {
+			spec := specNew
+			if i%2 == 1 {
+				spec = specOld
+			}
+			body, _ := json.Marshal(spec)
+			req, err := http.NewRequest(http.MethodPut, ts.URL+"/instances/A", bytes.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp, err := ts.Client().Do(req)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("reload %d: %d", i, resp.StatusCode)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	<-swapDone
+	if sawOld.Load() == 0 || sawNew.Load() == 0 {
+		t.Logf("note: swaps were not observed interleaved (old=%d new=%d); consistency still held",
+			sawOld.Load(), sawNew.Load())
+	}
+
+	ts.Client().CloseIdleConnections()
+	ts.Close()
+	assertNoGoroutineLeak(t, baseline)
+}
+
+// TestReloadDoesNotDisturbInFlightSolve: a PUT reload that lands while a
+// solve is executing must neither cancel it nor change its result — the
+// solve finishes on the snapshot it resolved at admission and reports that
+// snapshot's generation.
+func TestReloadDoesNotDisturbInFlightSolve(t *testing.T) {
+	specOld, specNew := serverSpec(5), serverSpec(6)
+	want := baselineFor(t, specOld)
+
+	cat := catalog.New()
+	oldEntry, err := cat.Load("A", specOld)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gate the solve so the reload deterministically lands mid-flight.
+	started := make(chan struct{}, 2) // the post-reload solve passes through too
+	proceed := make(chan struct{})
+	cfg := Config{
+		Catalog: cat,
+		Workers: 1,
+		solve: func(ctx context.Context, alg core.Algorithm, inst *core.Instance) *core.Anytime {
+			started <- struct{}{}
+			<-proceed
+			return core.SolveAnytime(ctx, alg, inst)
+		},
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	type result struct {
+		status int
+		resp   SolveResponse
+	}
+	done := make(chan result, 1)
+	go func() {
+		status, resp, _ := postSolve(t, ts.Client(), ts.URL,
+			SolveRequest{Algorithm: "BLS", Restarts: 2, Seed: 9, Instance: "A"})
+		done <- result{status, resp}
+	}()
+	<-started
+
+	body, _ := json.Marshal(specNew)
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/instances/A", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload: %d", resp.StatusCode)
+	}
+	close(proceed)
+
+	r := <-done
+	if r.status != http.StatusOK {
+		t.Fatalf("in-flight solve: %d", r.status)
+	}
+	if r.resp.Truncated {
+		t.Error("reload truncated the in-flight solve")
+	}
+	if r.resp.TotalRegret != want.regret || r.resp.Evals != want.evals {
+		t.Errorf("reload changed the in-flight result: %+v, want regret %v evals %d",
+			r.resp, want.regret, want.evals)
+	}
+	if r.resp.Generation != oldEntry.Generation {
+		t.Errorf("in-flight solve reported generation %d, want the admitted snapshot's %d",
+			r.resp.Generation, oldEntry.Generation)
+	}
+	// New requests land on the swapped build.
+	status, after, _ := postSolve(t, ts.Client(), ts.URL,
+		SolveRequest{Algorithm: "BLS", Restarts: 2, Seed: 9, Instance: "A"})
+	if status != http.StatusOK {
+		t.Fatalf("post-reload solve: %d", status)
+	}
+	if after.Generation <= oldEntry.Generation {
+		t.Errorf("post-reload generation %d not above %d", after.Generation, oldEntry.Generation)
+	}
+}

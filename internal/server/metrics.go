@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/obs"
 )
@@ -17,16 +18,19 @@ import (
 type metrics struct {
 	start time.Time
 	reg   *obs.Registry
+	cat   *catalog.Catalog
 
-	requests  *obs.CounterVec // completed solves by algorithm
-	latency   *obs.Histogram  // seconds per completed solve
-	regret    *obs.Histogram  // final total regret per completed solve
-	truncated *obs.Counter    // completed solves cut off by deadline/cancel
-	rejected  *obs.Counter    // 429s: queue full at admission
-	abandoned *obs.Counter    // client gone while waiting for a worker slot
-	restarts  *obs.Counter    // sum of RestartsCompleted
-	evals     *obs.Counter    // sum of Evals
-	cache     *obs.CounterVec // gain-cache events by kind
+	requests     *obs.CounterVec // completed solves by algorithm
+	instanceReqs *obs.CounterVec // completed solves by catalog instance
+	reloads      *obs.Counter    // successful PUT /instances loads
+	latency      *obs.Histogram  // seconds per completed solve
+	regret       *obs.Histogram  // final total regret per completed solve
+	truncated    *obs.Counter    // completed solves cut off by deadline/cancel
+	rejected     *obs.Counter    // 429s: queue full at admission
+	abandoned    *obs.Counter    // client gone while waiting for a worker slot
+	restarts     *obs.Counter    // sum of RestartsCompleted
+	evals        *obs.Counter    // sum of Evals
+	cache        *obs.CounterVec // gain-cache events by kind
 
 	// Histograms do not retain a max, so /stats keeps its own (CAS loop,
 	// still lock-free).
@@ -42,11 +46,18 @@ var (
 	regretBuckets  = obs.ExpBuckets(1, 2, 24)
 )
 
-func newMetrics() *metrics {
+func newMetrics(cat *catalog.Catalog) *metrics {
 	reg := obs.NewRegistry()
-	m := &metrics{start: time.Now(), reg: reg}
+	m := &metrics{start: time.Now(), reg: reg, cat: cat}
 	m.requests = reg.CounterVec("mroamd_requests_total",
 		"Completed solve requests by algorithm.", "algorithm")
+	m.instanceReqs = reg.CounterVec("mroamd_instance_requests_total",
+		"Completed solve requests by catalog instance.", "instance")
+	m.reloads = reg.Counter("mroamd_instance_reloads_total",
+		"Instances loaded or hot-swapped via PUT /instances.")
+	reg.GaugeFunc("mroamd_instances_loaded",
+		"Instances currently resident in the catalog.",
+		func() float64 { return float64(cat.Len()) })
 	m.latency = reg.Histogram("mroamd_solve_latency_seconds",
 		"Wall-clock latency of completed solves.", latencyBuckets)
 	m.regret = reg.Histogram("mroamd_solve_regret",
@@ -72,8 +83,9 @@ func newMetrics() *metrics {
 }
 
 // observe records one finished solve.
-func (m *metrics) observe(algorithm string, res *core.Anytime, latency time.Duration) {
+func (m *metrics) observe(algorithm, instance string, res *core.Anytime, latency time.Duration) {
 	m.requests.With(algorithm).Inc()
+	m.instanceReqs.With(instance).Inc()
 	m.latency.Observe(latency.Seconds())
 	m.regret.Observe(res.TotalRegret)
 	if res.Truncated {
@@ -99,6 +111,16 @@ type AlgoCount struct {
 	Requests  int64  `json:"requests"`
 }
 
+// InstanceCount is one loaded instance's identity, dimensions and request
+// total in a Stats snapshot.
+type InstanceCount struct {
+	Instance    string `json:"instance"`
+	Generation  uint64 `json:"generation"`
+	Billboards  int    `json:"billboards"`
+	Advertisers int    `json:"advertisers"`
+	Requests    int64  `json:"requests"`
+}
+
 // Stats is the JSON document served on GET /stats. Its shape predates the
 // Prometheus exposition and is kept backward-compatible; the values are
 // derived from the same underlying counters and histograms.
@@ -114,6 +136,11 @@ type Stats struct {
 	Restarts       int64       `json:"restarts"`
 	Evals          int64       `json:"evals"`
 	PerAlgorithm   []AlgoCount `json:"per_algorithm"`
+	// PerInstance reports the catalog's currently loaded instances — name,
+	// generation, dimensions — joined with each one's completed-request
+	// count. Requests against a since-reloaded generation still count under
+	// the name; requests against a since-deleted name are dropped with it.
+	PerInstance []InstanceCount `json:"per_instance"`
 }
 
 func (m *metrics) snapshot() Stats {
@@ -137,5 +164,16 @@ func (m *metrics) snapshot() Stats {
 	sort.Slice(s.PerAlgorithm, func(i, j int) bool {
 		return s.PerAlgorithm[i].Algorithm < s.PerAlgorithm[j].Algorithm
 	})
+	counts := make(map[string]int64)
+	m.instanceReqs.Each(func(values []string, n int64) { counts[values[0]] = n })
+	for _, e := range m.cat.List() { // List is sorted by name
+		s.PerInstance = append(s.PerInstance, InstanceCount{
+			Instance:    e.Name,
+			Generation:  e.Generation,
+			Billboards:  e.Info.Billboards,
+			Advertisers: e.Info.Advertisers,
+			Requests:    counts[e.Name],
+		})
+	}
 	return s
 }

@@ -17,7 +17,7 @@ import (
 // whose counters reflect the served traffic and agree with /stats.
 func TestMetricsEndpoint(t *testing.T) {
 	inst := testInstance(t, 200, 30, 4)
-	s, err := New(Config{Instance: inst, Workers: 2})
+	s, err := New(Config{Catalog: catalogFor(t, inst), Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,9 +96,9 @@ func TestRequestLogging(t *testing.T) {
 	inst := testInstance(t, 150, 20, 3)
 	var logBuf bytes.Buffer
 	s, err := New(Config{
-		Instance: inst,
-		Workers:  1,
-		Logger:   obs.NewLogger(&logBuf, slog.LevelInfo),
+		Catalog: catalogFor(t, inst),
+		Workers: 1,
+		Logger:  obs.NewLogger(&logBuf, slog.LevelInfo),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -175,7 +175,7 @@ func TestDebugLoggerAttachesTracer(t *testing.T) {
 	inst := testInstance(t, 150, 20, 3)
 	run := func(level slog.Level) (SolveResponse, string) {
 		var logBuf bytes.Buffer
-		s, err := New(Config{Instance: inst, Workers: 1, Logger: obs.NewLogger(&logBuf, level)})
+		s, err := New(Config{Catalog: catalogFor(t, inst), Workers: 1, Logger: obs.NewLogger(&logBuf, level)})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -6,10 +6,13 @@
 //
 // Endpoints:
 //
-//	POST /solve    run one solve against the server's instance
-//	GET  /healthz  liveness probe
-//	GET  /stats    aggregate request metrics (JSON)
-//	GET  /metrics  the same aggregates in Prometheus text exposition
+//	POST   /solve             run one solve against a catalog instance
+//	GET    /healthz           liveness probe
+//	GET    /stats             aggregate request metrics (JSON)
+//	GET    /metrics           the same aggregates in Prometheus text exposition
+//	GET    /instances         list the loaded instances
+//	PUT    /instances/{name}  load or hot-swap an instance from a Spec body
+//	DELETE /instances/{name}  unload an instance (the default is protected)
 //
 // Every /solve request is assigned a process-unique request ID, echoed in
 // the X-Request-ID response header, propagated through the request context
@@ -20,12 +23,22 @@
 // core.Tracer — tracing is observational, so traced and untraced solves
 // return bit-identical plans.
 //
-// The server owns one immutable *core.Instance loaded at startup. Solves
-// are read-only with respect to the instance, so any number can run
-// concurrently; the worker pool bounds CPU oversubscription, and the queue
-// bounds latency: a request that cannot be admitted is rejected immediately
-// with 429 so the client can retry against another replica instead of
-// waiting behind an unbounded backlog.
+// The server serves a catalog.Catalog of named immutable instances. A
+// /solve request picks one with its optional "instance" field; omitting it
+// selects the catalog's default instance, which preserves the single-
+// instance wire format exactly (covered by a golden test). Solves are
+// read-only with respect to the instance they resolved at admission, so any
+// number can run concurrently, and a PUT reload hot-swaps the name without
+// blocking or perturbing them — in-flight solves finish on the snapshot
+// they started with. The worker pool bounds CPU oversubscription, and the
+// queue bounds latency: a request that cannot be admitted is rejected
+// immediately with 429 so the client can retry against another replica
+// instead of waiting behind an unbounded backlog.
+//
+// The /instances admin endpoints mutate the catalog and carry no built-in
+// authentication, mirroring the ops-port posture (DESIGN.md §10): deploy
+// them behind the same network controls as /debug/pprof, or keep the API
+// listener private.
 //
 // Graceful shutdown is delegated to net/http: http.Server.Shutdown stops
 // accepting connections and waits for in-flight handlers — and therefore
@@ -45,15 +58,17 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/obs"
 )
 
 // Config parameterizes a Server.
 type Config struct {
-	// Instance is the MROAM problem every /solve request runs against.
-	// Required.
-	Instance *core.Instance
+	// Catalog holds the named instances /solve requests run against; a
+	// request's "instance" field picks one, defaulting to the catalog's
+	// default entry. Required, with at least one instance loaded.
+	Catalog *catalog.Catalog
 	// Workers bounds the number of concurrently executing solves.
 	// Values < 1 select runtime.GOMAXPROCS(0).
 	Workers int
@@ -85,9 +100,10 @@ type Config struct {
 // is unset.
 const DefaultMaxRestarts = 1000
 
-// Server serves solve requests over one MROAM instance.
+// Server serves solve requests over a catalog of MROAM instances.
 type Server struct {
 	cfg     Config
+	catalog *catalog.Catalog
 	log     *slog.Logger
 	mux     *http.ServeMux
 	queue   chan struct{} // admission tokens: capacity Workers + QueueDepth
@@ -97,8 +113,11 @@ type Server struct {
 
 // New validates cfg and returns a ready-to-serve Server.
 func New(cfg Config) (*Server, error) {
-	if cfg.Instance == nil {
-		return nil, errors.New("server: Config.Instance is required")
+	if cfg.Catalog == nil {
+		return nil, errors.New("server: Config.Catalog is required")
+	}
+	if cfg.Catalog.Len() == 0 {
+		return nil, errors.New("server: Config.Catalog has no instances loaded")
 	}
 	if cfg.Workers < 1 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -117,11 +136,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg:     cfg,
+		catalog: cfg.Catalog,
 		log:     cfg.Logger,
 		mux:     http.NewServeMux(),
 		queue:   make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 		workers: make(chan struct{}, cfg.Workers),
-		metrics: newMetrics(),
+		metrics: newMetrics(cfg.Catalog),
 	}
 	s.metrics.reg.GaugeFunc("mroamd_queue_depth",
 		"Admitted requests currently queued or executing.",
@@ -133,6 +153,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.Handle("/metrics", s.MetricsHandler())
+	s.mux.HandleFunc("GET /instances", s.handleInstancesList)
+	s.mux.HandleFunc("PUT /instances/{name}", s.handleInstancePut)
+	s.mux.HandleFunc("DELETE /instances/{name}", s.handleInstanceDelete)
 	return s, nil
 }
 
@@ -146,6 +169,9 @@ func (s *Server) MetricsHandler() http.Handler { return s.metrics.reg.Handler() 
 
 // SolveRequest is the JSON body of POST /solve.
 type SolveRequest struct {
+	// Instance names the catalog instance to solve against; empty selects
+	// the server's default instance.
+	Instance string `json:"instance,omitempty"`
 	// Algorithm is the figure name of the solver: "G-Order", "G-Global",
 	// "ALS" or "BLS".
 	Algorithm string `json:"algorithm"`
@@ -168,9 +194,14 @@ type SolveRequest struct {
 	IncludeAssignments bool `json:"include_assignments"`
 }
 
-// SolveResponse is the JSON body answering POST /solve.
+// SolveResponse is the JSON body answering POST /solve. Instance and
+// Generation identify the exact catalog snapshot that was solved; they are
+// echoed only when the request named an instance, which keeps the default-
+// instance response byte-identical to the pre-catalog wire format.
 type SolveResponse struct {
 	Algorithm         string  `json:"algorithm"`
+	Instance          string  `json:"instance,omitempty"`
+	Generation        uint64  `json:"generation,omitempty"`
 	TotalRegret       float64 `json:"total_regret"`
 	Excess            float64 `json:"excess_regret"`
 	Unsatisfied       float64 `json:"unsatisfied_regret"`
@@ -250,6 +281,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if req.Algorithm == "" {
 		req.Algorithm = "BLS"
 	}
+	// Resolve the instance once, at admission: everything below — solve,
+	// metrics, response dimensions — uses this one immutable snapshot, so a
+	// concurrent hot-swap can never produce a torn response.
+	entry, ok := s.catalog.Get(req.Instance)
+	if !ok {
+		fail(http.StatusNotFound, "unknown instance %q", req.Instance)
+		return
+	}
 	// Tracing is observational (bit-identical results), so attaching it
 	// whenever the logger wants Debug records cannot change answers.
 	var tracer core.Tracer
@@ -305,11 +344,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	res := s.cfg.solve(ctx, alg, s.cfg.Instance)
+	res := s.cfg.solve(ctx, alg, entry.Instance)
 	latency := time.Since(start)
-	s.metrics.observe(req.Algorithm, res, latency)
+	s.metrics.observe(req.Algorithm, entry.Name, res, latency)
 	logOutcome(http.StatusOK,
 		"algorithm", alg.Name(),
+		"instance", entry.Name,
+		"generation", entry.Generation,
 		"seed", req.Seed,
 		"regret", res.TotalRegret,
 		"restarts_completed", res.RestartsCompleted,
@@ -326,15 +367,22 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		Unsatisfied:       unsat,
 		Revenue:           core.Revenue(plan),
 		Satisfied:         plan.SatisfiedCount(),
-		Advertisers:       s.cfg.Instance.NumAdvertisers(),
+		Advertisers:       entry.Instance.NumAdvertisers(),
 		RestartsRequested: res.RestartsRequested,
 		RestartsCompleted: res.RestartsCompleted,
 		Truncated:         res.Truncated,
 		Evals:             res.Evals,
 		LatencyMS:         float64(latency.Microseconds()) / 1e3,
 	}
+	if req.Instance != "" {
+		// Echo the snapshot identity only for requests that opted into
+		// instance selection; the default-instance body stays byte-
+		// compatible with the single-instance wire format.
+		resp.Instance = entry.Name
+		resp.Generation = entry.Generation
+	}
 	if req.IncludeAssignments {
-		resp.Assignments = make([][]int, s.cfg.Instance.NumAdvertisers())
+		resp.Assignments = make([][]int, entry.Instance.NumAdvertisers())
 		for i := range resp.Assignments {
 			resp.Assignments[i] = plan.Set(i, []int{})
 		}
@@ -352,13 +400,110 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":      "ok",
-		"billboards":  s.cfg.Instance.Universe().NumBillboards(),
-		"advertisers": s.cfg.Instance.NumAdvertisers(),
 		"workers":     s.cfg.Workers,
 		"queue_depth": s.cfg.QueueDepth,
-	})
+		"instances":   s.catalog.Len(),
+	}
+	// billboards/advertisers report the default instance's dimensions, as
+	// they did when the server held exactly one instance.
+	if e, ok := s.catalog.Get(""); ok {
+		body["default"] = e.Name
+		body["billboards"] = e.Instance.Universe().NumBillboards()
+		body["advertisers"] = e.Instance.NumAdvertisers()
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// InstanceInfo is the JSON description of one loaded instance, served by the
+// /instances admin endpoints.
+type InstanceInfo struct {
+	Name       string            `json:"name"`
+	Generation uint64            `json:"generation"`
+	Default    bool              `json:"default,omitempty"`
+	Spec       catalog.Spec      `json:"spec"`
+	Info       catalog.BuildInfo `json:"info"`
+}
+
+func (s *Server) instanceInfo(e *catalog.Entry) InstanceInfo {
+	return InstanceInfo{
+		Name:       e.Name,
+		Generation: e.Generation,
+		Default:    e.Name == s.catalog.DefaultName(),
+		Spec:       e.Spec,
+		Info:       e.Info,
+	}
+}
+
+func (s *Server) handleInstancesList(w http.ResponseWriter, r *http.Request) {
+	entries := s.catalog.List()
+	infos := make([]InstanceInfo, len(entries))
+	for i, e := range entries {
+		infos[i] = s.instanceInfo(e)
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleInstancePut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := catalog.ValidateName(name); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var spec catalog.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decode spec: %v", err)
+		return
+	}
+	if spec.Name != "" && spec.Name != name {
+		writeError(w, http.StatusBadRequest,
+			"spec name %q disagrees with URL name %q", spec.Name, name)
+		return
+	}
+	_, existed := s.catalog.Get(name)
+	start := time.Now()
+	e, err := s.catalog.Load(name, spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "build instance: %v", err)
+		return
+	}
+	s.metrics.reloads.Inc()
+	s.log.Info("instance loaded",
+		"instance", e.Name,
+		"generation", e.Generation,
+		"reload", existed,
+		"billboards", e.Info.Billboards,
+		"advertisers", e.Info.Advertisers,
+		"build_ms", float64(time.Since(start).Microseconds())/1e3)
+	status := http.StatusCreated
+	if existed {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, s.instanceInfo(e))
+}
+
+func (s *Server) handleInstanceDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	err := s.catalog.Delete(name)
+	switch {
+	case errors.Is(err, catalog.ErrNotFound):
+		writeError(w, http.StatusNotFound, "unknown instance %q", name)
+		return
+	case errors.Is(err, catalog.ErrDefaultDelete):
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	// Retire the deleted instance's metric series; if the name is ever
+	// reloaded its counter restarts at zero (the Prometheus reset semantic).
+	s.metrics.instanceReqs.Delete(name)
+	s.log.Info("instance deleted", "instance", name)
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -15,10 +15,22 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/coverage"
 	"repro/internal/rng"
 )
+
+// catalogFor wraps a single pre-built instance in a catalog, as the default
+// entry named "default" — the single-instance shape most tests need.
+func catalogFor(tb testing.TB, inst *core.Instance) *catalog.Catalog {
+	tb.Helper()
+	c := catalog.New()
+	if _, err := c.AddInstance("default", inst); err != nil {
+		tb.Fatal(err)
+	}
+	return c
+}
 
 // testInstance builds a deterministic random instance sized by the caller.
 func testInstance(tb testing.TB, nTraj, nBB, nAdv int) *core.Instance {
@@ -103,7 +115,7 @@ func assertNoGoroutineLeak(t *testing.T, baseline int) {
 
 func TestSolveEndpointMatchesLibrary(t *testing.T) {
 	inst := testInstance(t, 200, 30, 4)
-	s, err := New(Config{Instance: inst, Workers: 2})
+	s, err := New(Config{Catalog: catalogFor(t, inst), Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +164,7 @@ func TestSolveEndpointMatchesLibrary(t *testing.T) {
 
 func TestSolveDeadlineTruncates(t *testing.T) {
 	inst := testInstance(t, 20000, 600, 6)
-	s, err := New(Config{Instance: inst, Workers: 1})
+	s, err := New(Config{Catalog: catalogFor(t, inst), Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +204,7 @@ func TestSolveDeadlineTruncates(t *testing.T) {
 
 func TestSolveRejectsBadRequests(t *testing.T) {
 	inst := testInstance(t, 50, 8, 2)
-	s, err := New(Config{Instance: inst, Workers: 1, MaxRestarts: 10})
+	s, err := New(Config{Catalog: catalogFor(t, inst), Workers: 1, MaxRestarts: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +245,7 @@ func TestSolveRejectsBadRequests(t *testing.T) {
 
 func TestHealthz(t *testing.T) {
 	inst := testInstance(t, 50, 8, 2)
-	s, err := New(Config{Instance: inst})
+	s, err := New(Config{Catalog: catalogFor(t, inst)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,11 +271,11 @@ func TestHealthz(t *testing.T) {
 // gatedConfig returns a Config whose solves block until the returned
 // release function is called, plus a channel that receives one token per
 // solve that has started executing.
-func gatedConfig(inst *core.Instance, workers, queue int) (Config, func(), chan struct{}) {
+func gatedConfig(tb testing.TB, inst *core.Instance, workers, queue int) (Config, func(), chan struct{}) {
 	gate := make(chan struct{})
 	started := make(chan struct{}, 64)
 	cfg := Config{
-		Instance:   inst,
+		Catalog:    catalogFor(tb, inst),
 		Workers:    workers,
 		QueueDepth: queue,
 		solve: func(ctx context.Context, alg core.Algorithm, in *core.Instance) *core.Anytime {
@@ -288,7 +300,7 @@ func TestBurstSheds429(t *testing.T) {
 	capacity := workers + queue // 4
 	burst := 4 * capacity       // 16
 
-	cfg, release, started := gatedConfig(inst, workers, queue)
+	cfg, release, started := gatedConfig(t, inst, workers, queue)
 	s, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -380,7 +392,7 @@ func TestBurstSheds429(t *testing.T) {
 func TestGracefulShutdownDrains(t *testing.T) {
 	baseline := runtime.NumGoroutine()
 	inst := testInstance(t, 50, 8, 2)
-	cfg, release, started := gatedConfig(inst, 1, 0)
+	cfg, release, started := gatedConfig(t, inst, 1, 0)
 	s, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -451,7 +463,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 func TestQueuedClientDisconnect(t *testing.T) {
 	baseline := runtime.NumGoroutine()
 	inst := testInstance(t, 50, 8, 2)
-	cfg, release, started := gatedConfig(inst, 1, 2)
+	cfg, release, started := gatedConfig(t, inst, 1, 2)
 	s, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -514,15 +526,18 @@ func TestQueuedClientDisconnect(t *testing.T) {
 	assertNoGoroutineLeak(t, baseline)
 }
 
-func TestNewRequiresInstance(t *testing.T) {
+func TestNewRequiresCatalog(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
-		t.Fatal("nil instance accepted")
+		t.Fatal("nil catalog accepted")
+	}
+	if _, err := New(Config{Catalog: catalog.New()}); err == nil {
+		t.Fatal("empty catalog accepted")
 	}
 }
 
 func TestStatsPerAlgorithm(t *testing.T) {
 	inst := testInstance(t, 80, 10, 2)
-	s, err := New(Config{Instance: inst, Workers: 2})
+	s, err := New(Config{Catalog: catalogFor(t, inst), Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,6 +23,7 @@ package mroam
 import (
 	"context"
 
+	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/coverage"
 	"repro/internal/dataset"
@@ -181,19 +182,21 @@ func AlgorithmsOpts(opts SearchOptions) []Algorithm {
 // GenerateNYC generates the synthetic Manhattan-like taxi dataset at the
 // given fraction of the default scale (1.0 = 40k trips, 400 billboards).
 func GenerateNYC(seed uint64, scale float64) (*Dataset, error) {
-	return dataset.Generate(dataset.DefaultNYC(seed).Scale(scale))
+	return catalog.BuildDataset(catalog.Spec{City: "NYC", Scale: scale, Seed: seed})
 }
 
 // GenerateSG generates the synthetic Singapore-like bus dataset at the
 // given fraction of the default scale (1.0 = 55k trips, 1152 bus-stop
 // billboards).
 func GenerateSG(seed uint64, scale float64) (*Dataset, error) {
-	return dataset.Generate(dataset.DefaultSG(seed).Scale(scale))
+	return catalog.BuildDataset(catalog.Spec{City: "SG", Scale: scale, Seed: seed})
 }
 
 // LoadDataset reads a dataset directory previously written by
 // Dataset.Save.
-func LoadDataset(dir string) (*Dataset, error) { return dataset.Load(dir) }
+func LoadDataset(dir string) (*Dataset, error) {
+	return catalog.BuildDataset(catalog.Spec{Data: dir})
+}
 
 // BuildCoverage runs the influence model (§7.1.2) over arbitrary
 // trajectory and billboard databases: billboard o covers trajectory t iff
