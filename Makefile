@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet fmt lint bench repro examples clean check fuzz-smoke trace-demo catalog-demo
+.PHONY: all build test test-race vet fmt lint bench repro examples clean check fuzz-smoke trace-demo catalog-demo cache-demo
 
 all: build test
 
 # The full pre-merge gate: build, lint (format + vet), the race-detector
-# suite, a short smoke run of every fuzz target, and the multi-instance
-# serving demo.
-check: build lint test-race fuzz-smoke catalog-demo
+# suite, a short smoke run of every fuzz target, and the serving demos
+# (multi-instance catalog, solve-result cache).
+check: build lint test-race fuzz-smoke catalog-demo cache-demo
 
 build:
 	$(GO) build ./...
@@ -82,6 +82,33 @@ catalog-demo:
 	curl -s -d '{"instance":"nyc","algorithm":"G-Order"}' http://$(CATALOG_DEMO_ADDR)/solve \
 		| grep -q '"generation": 3' || { echo "catalog-demo: post-swap solve failed"; exit 1; }; \
 	echo "catalog-demo: OK (2 instances served, 1 hot-swapped)"
+
+# cache-demo boots the daemon with the solve-result cache enabled, runs the
+# same solve twice, and asserts the second is answered from cache — the
+# smoke test an operator can run before turning -cache-entries on in a
+# deployment.
+CACHE_DEMO_ADDR ?= 127.0.0.1:18341
+cache-demo:
+	@$(GO) build -o /tmp/mroamd-cache-demo ./cmd/mroamd
+	@/tmp/mroamd-cache-demo -addr $(CACHE_DEMO_ADDR) -scale 0.02 -workers 2 \
+		-cache-entries 64 > /tmp/mroamd-cache-demo.log 2>&1 & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	up=0; \
+	for i in $$(seq 1 100); do \
+		curl -sf http://$(CACHE_DEMO_ADDR)/healthz >/dev/null && { up=1; break; }; \
+		sleep 0.2; \
+	done; \
+	[ $$up -eq 1 ] || { echo "cache-demo: daemon never came up"; cat /tmp/mroamd-cache-demo.log; exit 1; }; \
+	first=$$(curl -s -d '{"algorithm":"BLS","restarts":2,"seed":7}' http://$(CACHE_DEMO_ADDR)/solve); \
+	echo "$$first" | grep -q '"total_regret"' || { echo "cache-demo: first solve failed: $$first"; exit 1; }; \
+	echo "$$first" | grep -q '"cached"' && { echo "cache-demo: first solve claims cached"; exit 1; }; \
+	second=$$(curl -s -d '{"algorithm":"BLS","restarts":2,"seed":7}' http://$(CACHE_DEMO_ADDR)/solve); \
+	echo "$$second" | grep -q '"cached": true' || { echo "cache-demo: repeat not cached: $$second"; exit 1; }; \
+	curl -s http://$(CACHE_DEMO_ADDR)/metrics \
+		| grep -q 'mroamd_solve_cache_events_total{event="hit"} 1' \
+		|| { echo "cache-demo: hit not counted"; exit 1; }; \
+	echo "cache-demo: OK (repeat solve served from cache)"
 
 # One benchmark per table/figure of the paper plus ablations; see
 # EXPERIMENTS.md for a recorded run. -run=^$ skips the unit tests so the

@@ -8,6 +8,7 @@
 //	mroamd -addr :8080 -city NYC -scale 0.25 -seed 42
 //	mroamd -addr :8080 -instances specs.json
 //	mroamd -addr :8080 -ops-addr 127.0.0.1:8081 -workers 4 -queue 8
+//	mroamd -addr :8080 -cache-entries 256
 //
 //	curl -s localhost:8080/solve -d '{"algorithm":"BLS","restarts":5,"deadline_ms":100}'
 //	curl -s localhost:8080/solve -d '{"instance":"sg","algorithm":"BLS"}'
@@ -29,6 +30,13 @@
 // solve traffic and the debug endpoints can be bound to localhost while
 // the API listens publicly. /metrics is also served on the API listener
 // for single-port deployments.
+//
+// With -cache-entries N the daemon memoizes up to N completed untruncated
+// solve results by their deterministic request tuple (instance + catalog
+// generation, algorithm, seed, restarts, improvement ratio): repeats are
+// answered from cache ("cached": true in the response) and identical
+// concurrent requests coalesce onto a single solver execution. Caching is
+// off by default, preserving the exact pre-cache behavior.
 //
 // All daemon output is structured logging (one JSON object per line via
 // log/slog): a startup record, one record per /solve request carrying the
@@ -95,6 +103,7 @@ func run(args []string, out io.Writer, ready chan<- addrs) error {
 	defaultDeadline := fs.Duration("default-deadline", 0, "deadline applied when a request omits deadline_ms (0 = none)")
 	maxDeadline := fs.Duration("max-deadline", 5*time.Minute, "cap on per-request deadlines (0 = none)")
 	maxRestarts := fs.Int("max-restarts", server.DefaultMaxRestarts, "cap on per-request restart budgets")
+	cacheEntries := fs.Int("cache-entries", 0, "completed solve results to cache by request tuple, with identical concurrent requests coalesced (0 = caching disabled)")
 	drain := fs.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight solves")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -117,6 +126,7 @@ func run(args []string, out io.Writer, ready chan<- addrs) error {
 		DefaultDeadline: *defaultDeadline,
 		MaxDeadline:     *maxDeadline,
 		MaxRestarts:     *maxRestarts,
+		CacheEntries:    *cacheEntries,
 		Logger:          logger,
 	})
 	if err != nil {

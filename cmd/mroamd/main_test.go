@@ -232,6 +232,101 @@ func TestRunServesAndDrainsOnSIGTERM(t *testing.T) {
 	}
 }
 
+// TestRunCacheServesRepeats boots the daemon with -cache-entries and checks
+// the end-to-end cache contract: a repeated identical solve is answered from
+// cache with an identical result, the response says so, and the hit shows up
+// in the Prometheus exposition.
+func TestRunCacheServesRepeats(t *testing.T) {
+	var buf bytes.Buffer
+	ready := make(chan addrs, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0", "-scale", "0.02", "-workers", "2",
+			"-cache-entries", "64",
+		}, &buf, ready)
+	}()
+	var bound addrs
+	select {
+	case bound = <-ready:
+	case err := <-done:
+		t.Fatalf("run exited before serving: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never came up")
+	}
+	base := "http://" + bound.api
+
+	solve := func() []byte {
+		t.Helper()
+		resp, err := http.Post(base+"/solve", "application/json",
+			strings.NewReader(`{"algorithm":"BLS","restarts":2,"seed":3}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve: %d: %s", resp.StatusCode, body)
+		}
+		return body
+	}
+	type result struct {
+		TotalRegret float64 `json:"total_regret"`
+		Evals       int64   `json:"evals"`
+		Cached      bool    `json:"cached"`
+	}
+	var first, second result
+	firstRaw := solve()
+	if err := json.Unmarshal(firstRaw, &first); err != nil {
+		t.Fatalf("decode %s: %v", firstRaw, err)
+	}
+	if first.Cached {
+		t.Errorf("first solve already cached: %s", firstRaw)
+	}
+	secondRaw := solve()
+	if err := json.Unmarshal(secondRaw, &second); err != nil {
+		t.Fatalf("decode %s: %v", secondRaw, err)
+	}
+	if !second.Cached {
+		t.Errorf("repeat solve not served from cache: %s", secondRaw)
+	}
+	if second.TotalRegret != first.TotalRegret || second.Evals != first.Evals {
+		t.Errorf("cached result differs: %s vs %s", secondRaw, firstRaw)
+	}
+
+	// /metrics is served on the API listener too; the hit is visible there.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`mroamd_solve_cache_events_total{event="hit"} 1`,
+		`mroamd_solve_cache_events_total{event="miss"} 1`,
+		"mroamd_solve_cache_entries 1",
+	} {
+		if !strings.Contains(string(expo), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, expo)
+		}
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never drained")
+	}
+}
+
 // TestRunOpsSurface boots the daemon with a separate ops listener and
 // checks every endpoint of the operational surface answers, including a
 // valid Prometheus exposition that reflects served solves.

@@ -29,7 +29,10 @@ type Entry struct {
 	// Generation is a catalog-wide monotone counter stamped when the
 	// entry was installed; a reload of the same name always carries a
 	// strictly larger generation, so a response reporting (name,
-	// generation) identifies exactly one build.
+	// generation) identifies exactly one build. The solve-result cache
+	// (internal/solvecache) leans on this invariant: (name, generation)
+	// in its key means a hot-swapped instance can never serve a stale
+	// cached plan — the new generation is simply a different key.
 	Generation uint64
 	// Spec is the normalized spec the entry was built from; the zero Spec
 	// for entries registered from a pre-built instance.

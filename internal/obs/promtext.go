@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -11,11 +12,15 @@ import (
 // every family opens with a # HELP line immediately followed by a matching
 // # TYPE line, every sample belongs to a declared family, histogram bucket
 // counts are cumulative (monotone non-decreasing), the +Inf bucket is
-// present and equals <name>_count, and every sample value parses. It is
-// used by the exposition tests here and in internal/server, and by
-// operators as a cheap scrape sanity check.
+// present and equals the _count, and every sample value parses. Histogram
+// checks are applied per series: a labeled histogram family (one bucket
+// ladder per non-"le" label set) restarts the cumulative walk at each label
+// set and must carry a complete +Inf/_sum/_count triple for every one —
+// label sets never leak bucket counts into each other. It is used by the
+// exposition tests here and in internal/server, and by operators as a cheap
+// scrape sanity check.
 func ValidateExposition(b []byte) error {
-	type histState struct {
+	type histSeries struct {
 		lastCum  int64
 		infSeen  bool
 		infCum   int64
@@ -23,9 +28,9 @@ func ValidateExposition(b []byte) error {
 		count    int64
 		countSet bool
 	}
-	kinds := make(map[string]string)     // family -> counter|gauge|histogram
-	hists := make(map[string]*histState) // histogram family state
-	lastHelp := ""                       // family named by the preceding HELP line
+	kinds := make(map[string]string)                 // family -> counter|gauge|histogram
+	hists := make(map[string]map[string]*histSeries) // family -> non-le label set -> state
+	lastHelp := ""                                   // family named by the preceding HELP line
 
 	lines := strings.Split(string(b), "\n")
 	for n, line := range lines {
@@ -58,7 +63,7 @@ func ValidateExposition(b []byte) error {
 			}
 			kinds[name] = kind
 			if kind == "histogram" {
-				hists[name] = &histState{}
+				hists[name] = make(map[string]*histSeries)
 			}
 			continue
 		}
@@ -87,7 +92,15 @@ func ValidateExposition(b []byte) error {
 			return fmt.Errorf("line %d: bare sample %q for histogram family", lineNo, name)
 		}
 		if kind == "histogram" {
-			h := hists[fam]
+			// One cumulative bucket ladder per non-le label set: the walk
+			// restarts for each new label set instead of carrying the
+			// previous series' running total across the family.
+			series := seriesKey(labels)
+			h := hists[fam][series]
+			if h == nil {
+				h = &histSeries{}
+				hists[fam][series] = h
+			}
 			switch suffix {
 			case "_bucket":
 				le, ok := labels["le"]
@@ -96,7 +109,8 @@ func ValidateExposition(b []byte) error {
 				}
 				cum := int64(value)
 				if cum < h.lastCum {
-					return fmt.Errorf("line %d: bucket counts not cumulative (%d after %d)", lineNo, cum, h.lastCum)
+					return fmt.Errorf("line %d: bucket counts not cumulative within series {%s} (%d after %d)",
+						lineNo, series, cum, h.lastCum)
 				}
 				h.lastCum = cum
 				if le == "+Inf" {
@@ -114,18 +128,35 @@ func ValidateExposition(b []byte) error {
 		}
 	}
 
-	for name, h := range hists {
-		if !h.infSeen {
-			return fmt.Errorf("histogram %q: missing le=\"+Inf\" bucket", name)
-		}
-		if !h.sumSeen || !h.countSet {
-			return fmt.Errorf("histogram %q: missing _sum or _count", name)
-		}
-		if h.infCum != h.count {
-			return fmt.Errorf("histogram %q: +Inf bucket %d != count %d", name, h.infCum, h.count)
+	for name, byLabels := range hists {
+		for series, h := range byLabels {
+			if !h.infSeen {
+				return fmt.Errorf("histogram %q series {%s}: missing le=\"+Inf\" bucket", name, series)
+			}
+			if !h.sumSeen || !h.countSet {
+				return fmt.Errorf("histogram %q series {%s}: missing _sum or _count", name, series)
+			}
+			if h.infCum != h.count {
+				return fmt.Errorf("histogram %q series {%s}: +Inf bucket %d != count %d", name, series, h.infCum, h.count)
+			}
 		}
 	}
 	return nil
+}
+
+// seriesKey canonicalizes a sample's labels minus "le" (the bucket bound is
+// a position within a series, not part of its identity), so _bucket, _sum
+// and _count lines of the same label set group together.
+func seriesKey(labels map[string]string) string {
+	pairs := make([]string, 0, len(labels))
+	for k, v := range labels {
+		if k == "le" {
+			continue
+		}
+		pairs = append(pairs, k+"="+v)
+	}
+	sort.Strings(pairs)
+	return strings.Join(pairs, ",")
 }
 
 // parseSample splits one exposition sample line into its name, label map

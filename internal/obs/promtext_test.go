@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestValidateExpositionLabeledHistogram pins the per-series cumulative
+// walk on a checked-in exposition whose histogram family carries two label
+// sets. The second series' ladder restarts below the first series' +Inf
+// count (2 after 9) — a shape the validator used to false-fail by carrying
+// one running total across the whole family.
+func TestValidateExpositionLabeledHistogram(t *testing.T) {
+	b, err := os.ReadFile(filepath.Join("testdata", "labeled_histogram.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateExposition(b); err != nil {
+		t.Fatalf("labeled-histogram exposition rejected: %v", err)
+	}
+}
+
+// TestValidateExpositionPerSeries: with the walk grouped by non-le label
+// set, defects must still be caught inside each series — and a series
+// cannot borrow its +Inf/_sum/_count from a sibling label set.
+func TestValidateExpositionPerSeries(t *testing.T) {
+	head := "# HELP h x\n# TYPE h histogram\n"
+	okSeries := `h_bucket{who="a",le="1"} 4` + "\n" +
+		`h_bucket{who="a",le="+Inf"} 6` + "\n" +
+		`h_sum{who="a"} 1.5` + "\n" + `h_count{who="a"} 6` + "\n"
+
+	cases := []struct {
+		name    string
+		text    string
+		wantErr string
+	}{
+		{
+			"second series restarting low is valid",
+			head + okSeries +
+				`h_bucket{who="b",le="1"} 1` + "\n" +
+				`h_bucket{who="b",le="+Inf"} 2` + "\n" +
+				`h_sum{who="b"} 0.1` + "\n" + `h_count{who="b"} 2` + "\n",
+			"",
+		},
+		{
+			"non-cumulative within one series",
+			head + okSeries +
+				`h_bucket{who="b",le="1"} 5` + "\n" +
+				`h_bucket{who="b",le="+Inf"} 3` + "\n" +
+				`h_sum{who="b"} 0.1` + "\n" + `h_count{who="b"} 3` + "\n",
+			"not cumulative within series",
+		},
+		{
+			"+Inf != count in one series",
+			head + okSeries +
+				`h_bucket{who="b",le="+Inf"} 2` + "\n" +
+				`h_sum{who="b"} 0.1` + "\n" + `h_count{who="b"} 3` + "\n",
+			"+Inf bucket 2 != count 3",
+		},
+		{
+			"series missing its own +Inf",
+			head + okSeries +
+				`h_bucket{who="b",le="1"} 1` + "\n" +
+				`h_sum{who="b"} 0.1` + "\n" + `h_count{who="b"} 1` + "\n",
+			`missing le="+Inf"`,
+		},
+		{
+			"series missing _sum/_count",
+			head + okSeries +
+				`h_bucket{who="b",le="+Inf"} 2` + "\n",
+			"missing _sum or _count",
+		},
+	}
+	for _, tc := range cases {
+		err := ValidateExposition([]byte(tc.text))
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: rejected: %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: accepted:\n%s", tc.name, tc.text)
+		} else if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}

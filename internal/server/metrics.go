@@ -31,6 +31,7 @@ type metrics struct {
 	restarts     *obs.Counter    // sum of RestartsCompleted
 	evals        *obs.Counter    // sum of Evals
 	cache        *obs.CounterVec // gain-cache events by kind
+	solveCache   *obs.CounterVec // solve-result cache events by kind
 
 	// Histograms do not retain a max, so /stats keeps its own (CAS loop,
 	// still lock-free).
@@ -76,14 +77,35 @@ func newMetrics(cat *catalog.Catalog) *metrics {
 		"Gain-cache outcomes: hit = evaluation avoided by a CELF bound, "+
 			"miss = candidate evaluated exactly, rescan = selection fell back to a full scan.",
 		"event")
+	m.solveCache = reg.CounterVec("mroamd_solve_cache_events_total",
+		"Solve-result cache outcomes: hit = served from cache, miss = a new solve started, "+
+			"coalesced = joined an identical in-flight solve, evicted = entry dropped "+
+			"(capacity or instance invalidation).",
+		"event")
 	reg.GaugeFunc("mroamd_uptime_seconds",
 		"Seconds since the server started.",
 		func() float64 { return time.Since(m.start).Seconds() })
 	return m
 }
 
-// observe records one finished solve.
+// observe records one finished solve that ran solver work on behalf of this
+// request: the request-level aggregates plus the work counters.
 func (m *metrics) observe(algorithm, instance string, res *core.Anytime, latency time.Duration) {
+	m.observeRequest(algorithm, instance, res, latency)
+	m.restarts.Add(int64(res.RestartsCompleted))
+	m.evals.Add(res.Evals)
+	m.cache.With("hit").Add(res.Cache.Hits)
+	m.cache.With("miss").Add(res.Cache.Misses)
+	m.cache.With("rescan").Add(res.Cache.Rescans)
+}
+
+// observeRequest records the request-level aggregates — completion counters
+// and the latency/regret histograms — without the solver-work counters
+// (restarts, evals, gain-cache events), which belong to the one request whose
+// flight actually ran the solve. Solve-cache hits and coalesced followers go
+// through here, so the response-facing series stay truthful per request while
+// solver work is never double-counted.
+func (m *metrics) observeRequest(algorithm, instance string, res *core.Anytime, latency time.Duration) {
 	m.requests.With(algorithm).Inc()
 	m.instanceReqs.With(instance).Inc()
 	m.latency.Observe(latency.Seconds())
@@ -98,11 +120,6 @@ func (m *metrics) observe(algorithm, instance string, res *core.Anytime, latency
 			break
 		}
 	}
-	m.restarts.Add(int64(res.RestartsCompleted))
-	m.evals.Add(res.Evals)
-	m.cache.With("hit").Add(res.Cache.Hits)
-	m.cache.With("miss").Add(res.Cache.Misses)
-	m.cache.With("rescan").Add(res.Cache.Rescans)
 }
 
 // AlgoCount is one per-algorithm request total in a Stats snapshot.

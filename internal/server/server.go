@@ -35,6 +35,15 @@
 // immediately with 429 so the client can retry against another replica
 // instead of waiting behind an unbounded backlog.
 //
+// With Config.CacheEntries > 0 the server memoizes completed untruncated
+// solves in a solvecache.Cache keyed by the deterministic request tuple
+// (instance name + catalog generation, algorithm, seed, restarts,
+// improvement ratio): a repeated request is answered from cache without
+// consuming a worker slot ("cached": true plus the entry's age in the
+// response), and identical concurrent requests coalesce onto one in-flight
+// solve. The generation in the key makes a hot-swap an automatic miss, and
+// DELETE (or a reload) drops the name's dead entries eagerly.
+//
 // The /instances admin endpoints mutate the catalog and carry no built-in
 // authentication, mirroring the ops-port posture (DESIGN.md §10): deploy
 // them behind the same network controls as /debug/pprof, or keep the API
@@ -61,6 +70,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/solvecache"
 )
 
 // Config parameterizes a Server.
@@ -86,6 +96,12 @@ type Config struct {
 	// guard against accidentally enormous requests. Values < 1 select
 	// DefaultMaxRestarts.
 	MaxRestarts int
+	// CacheEntries bounds the solve-result cache: completed untruncated
+	// solves are memoized by their deterministic request tuple (instance
+	// name + catalog generation, algorithm, seed, restarts, improvement
+	// ratio), and identical concurrent requests coalesce onto one
+	// in-flight solve. 0 (the default) disables caching entirely.
+	CacheEntries int
 	// Logger receives one structured record per /solve request plus
 	// lifecycle events. nil discards everything. A logger whose level
 	// admits Debug additionally gets per-restart solver trace events.
@@ -109,6 +125,7 @@ type Server struct {
 	queue   chan struct{} // admission tokens: capacity Workers + QueueDepth
 	workers chan struct{} // execution tokens: capacity Workers
 	metrics *metrics
+	cache   *solvecache.Cache // nil when Config.CacheEntries == 0
 }
 
 // New validates cfg and returns a ready-to-serve Server.
@@ -149,6 +166,23 @@ func New(cfg Config) (*Server, error) {
 	s.metrics.reg.GaugeFunc("mroamd_inflight_solves",
 		"Solves currently holding a worker slot.",
 		func() float64 { return float64(len(s.workers)) })
+	if cfg.CacheEntries > 0 {
+		s.cache = solvecache.New(solvecache.Config{
+			Entries: cfg.CacheEntries,
+			// A flight detached from its requesters still never runs
+			// longer than any client could have asked for.
+			MaxFlight: cfg.MaxDeadline,
+			OnEvent:   func(ev solvecache.Event) { s.metrics.solveCache.With(string(ev)).Inc() },
+		})
+	}
+	s.metrics.reg.GaugeFunc("mroamd_solve_cache_entries",
+		"Completed solve results currently cached.",
+		func() float64 {
+			if s.cache == nil {
+				return 0
+			}
+			return float64(s.cache.Len())
+		})
 	s.mux.HandleFunc("/solve", s.handleSolve)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
@@ -213,7 +247,19 @@ type SolveResponse struct {
 	Truncated         bool    `json:"truncated"`
 	Evals             int64   `json:"evals"`
 	LatencyMS         float64 `json:"latency_ms"`
-	Assignments       [][]int `json:"assignments,omitempty"`
+	// EffectiveDeadlineMS echoes the deadline the solve actually ran under
+	// whenever it differs from the one the request asked for — a clamp to
+	// MaxDeadline, or a default applied to a request that set none — so a
+	// truncated response is always explicable. Omitted when the requested
+	// deadline was used verbatim.
+	EffectiveDeadlineMS int64 `json:"effective_deadline_ms,omitempty"`
+	// Cached is true when the result came from the solve cache — a
+	// completed entry, or an identical in-flight solve this request
+	// coalesced onto. CacheAgeMS is how long the entry had been cached
+	// (0 for coalesced results, which are brand new).
+	Cached      bool    `json:"cached,omitempty"`
+	CacheAgeMS  float64 `json:"cache_age_ms,omitempty"`
+	Assignments [][]int `json:"assignments,omitempty"`
 }
 
 // errorResponse is the JSON body of non-200 answers.
@@ -307,6 +353,45 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The effective deadline is computed before admission so the cache
+	// fast path and the response echo share it. When it differs from what
+	// the request asked for — a clamp to MaxDeadline, or a default applied
+	// to a deadline-less request — it is echoed back instead of being
+	// applied silently.
+	requested := time.Duration(req.DeadlineMS) * time.Millisecond
+	deadline := requested
+	if deadline == 0 {
+		deadline = s.cfg.DefaultDeadline
+	}
+	if s.cfg.MaxDeadline > 0 && (deadline == 0 || deadline > s.cfg.MaxDeadline) {
+		deadline = s.cfg.MaxDeadline
+	}
+	var effDeadlineMS int64
+	if deadline != requested {
+		effDeadlineMS = deadline.Milliseconds()
+	}
+
+	// Cache fast path: a completed identical solve answers immediately,
+	// without consuming a queue or worker token. The key carries the
+	// snapshot's generation, so a hot-swapped instance is a natural miss.
+	var key solvecache.Key
+	if s.cache != nil {
+		key = solvecache.Key{
+			Instance:         entry.Name,
+			Generation:       entry.Generation,
+			Algorithm:        alg.Name(),
+			Seed:             req.Seed,
+			Restarts:         req.Restarts,
+			ImprovementRatio: req.ImprovementRatio,
+		}
+		if res, age, ok := s.cache.Lookup(key); ok {
+			latency := time.Since(admitted)
+			s.metrics.observeRequest(req.Algorithm, entry.Name, res, latency)
+			s.finishSolve(w, logOutcome, req, alg.Name(), entry, res, latency, true, age, effDeadlineMS)
+			return
+		}
+	}
+
 	// Admission: take a queue token without blocking, or shed load now.
 	select {
 	case s.queue <- struct{}{}:
@@ -330,13 +415,6 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	deadline := time.Duration(req.DeadlineMS) * time.Millisecond
-	if deadline == 0 {
-		deadline = s.cfg.DefaultDeadline
-	}
-	if s.cfg.MaxDeadline > 0 && (deadline == 0 || deadline > s.cfg.MaxDeadline) {
-		deadline = s.cfg.MaxDeadline
-	}
 	if deadline > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, deadline)
@@ -344,11 +422,65 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	res := s.cfg.solve(ctx, alg, entry.Instance)
+	var res *core.Anytime
+	cached := false
+	var age time.Duration
+	if s.cache != nil {
+		// Compute-once path: identical concurrent requests coalesce onto
+		// one flight, which runs detached from every requester (bounded by
+		// MaxDeadline) so an impatient client cannot starve the rest. This
+		// request still waits under its own ctx.
+		var info solvecache.Info
+		res, info = s.cache.Do(ctx, key, func(fctx context.Context) *core.Anytime {
+			return s.cfg.solve(fctx, alg, entry.Instance)
+		})
+		switch info.Outcome {
+		case solvecache.Hit:
+			cached, age = true, info.Age
+		case solvecache.Followed:
+			cached = true
+		case solvecache.Expired:
+			if r.Context().Err() == nil {
+				// The request's own deadline fired while waiting on the
+				// flight. Honor the anytime contract the uncached path
+				// offers: solving under the already-expired ctx returns
+				// the best-so-far truncated result immediately.
+				res = s.cfg.solve(ctx, alg, entry.Instance)
+			}
+		}
+	} else {
+		res = s.cfg.solve(ctx, alg, entry.Instance)
+	}
 	latency := time.Since(start)
-	s.metrics.observe(req.Algorithm, entry.Name, res, latency)
-	logOutcome(http.StatusOK,
-		"algorithm", alg.Name(),
+
+	// A client that hung up mid-solve never saw an answer: count it as
+	// abandoned and answer 499, exactly like a disconnect in the queue —
+	// not as a completed 200 that skews the latency and regret series.
+	if err := r.Context().Err(); err != nil {
+		s.metrics.abandoned.Inc()
+		fail(statusClientClosedRequest, "client closed request during solve")
+		return
+	}
+
+	if cached {
+		// The flight's solver work was (or will be) recorded by the
+		// request that ran it; this request only contributes the
+		// response-level series.
+		s.metrics.observeRequest(req.Algorithm, entry.Name, res, latency)
+	} else {
+		s.metrics.observe(req.Algorithm, entry.Name, res, latency)
+	}
+	s.finishSolve(w, logOutcome, req, alg.Name(), entry, res, latency, cached, age, effDeadlineMS)
+}
+
+// finishSolve emits the one structured log line and the SolveResponse body
+// for a completed solve, whether it ran on this request's worker slot or was
+// served from the cache.
+func (s *Server) finishSolve(w http.ResponseWriter, logOutcome func(int, ...any),
+	req SolveRequest, algName string, entry *catalog.Entry, res *core.Anytime,
+	latency time.Duration, cached bool, age time.Duration, effDeadlineMS int64) {
+	attrs := []any{
+		"algorithm", algName,
 		"instance", entry.Name,
 		"generation", entry.Generation,
 		"seed", req.Seed,
@@ -356,23 +488,31 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		"restarts_completed", res.RestartsCompleted,
 		"truncated", res.Truncated,
 		"evals", res.Evals,
-		"solve_ms", float64(latency.Microseconds())/1e3)
+		"solve_ms", float64(latency.Microseconds()) / 1e3,
+	}
+	if cached {
+		attrs = append(attrs, "cached", true)
+	}
+	logOutcome(http.StatusOK, attrs...)
 
 	plan := res.Plan
 	excess, unsat := plan.Breakdown()
 	resp := SolveResponse{
-		Algorithm:         alg.Name(),
-		TotalRegret:       res.TotalRegret,
-		Excess:            excess,
-		Unsatisfied:       unsat,
-		Revenue:           core.Revenue(plan),
-		Satisfied:         plan.SatisfiedCount(),
-		Advertisers:       entry.Instance.NumAdvertisers(),
-		RestartsRequested: res.RestartsRequested,
-		RestartsCompleted: res.RestartsCompleted,
-		Truncated:         res.Truncated,
-		Evals:             res.Evals,
-		LatencyMS:         float64(latency.Microseconds()) / 1e3,
+		Algorithm:           algName,
+		TotalRegret:         res.TotalRegret,
+		Excess:              excess,
+		Unsatisfied:         unsat,
+		Revenue:             core.Revenue(plan),
+		Satisfied:           plan.SatisfiedCount(),
+		Advertisers:         entry.Instance.NumAdvertisers(),
+		RestartsRequested:   res.RestartsRequested,
+		RestartsCompleted:   res.RestartsCompleted,
+		Truncated:           res.Truncated,
+		Evals:               res.Evals,
+		LatencyMS:           float64(latency.Microseconds()) / 1e3,
+		EffectiveDeadlineMS: effDeadlineMS,
+		Cached:              cached,
+		CacheAgeMS:          float64(age.Microseconds()) / 1e3,
 	}
 	if req.Instance != "" {
 		// Echo the snapshot identity only for requests that opted into
@@ -471,6 +611,12 @@ func (s *Server) handleInstancePut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.reloads.Inc()
+	if s.cache != nil && existed {
+		// Entries for the replaced generations could never be hit again
+		// (the key carries the generation), but dropping them returns
+		// their capacity immediately.
+		s.cache.InvalidateInstance(name)
+	}
 	s.log.Info("instance loaded",
 		"instance", e.Name,
 		"generation", e.Generation,
@@ -502,6 +648,9 @@ func (s *Server) handleInstanceDelete(w http.ResponseWriter, r *http.Request) {
 	// Retire the deleted instance's metric series; if the name is ever
 	// reloaded its counter restarts at zero (the Prometheus reset semantic).
 	s.metrics.instanceReqs.Delete(name)
+	if s.cache != nil {
+		s.cache.InvalidateInstance(name)
+	}
 	s.log.Info("instance deleted", "instance", name)
 	w.WriteHeader(http.StatusNoContent)
 }

@@ -1,0 +1,63 @@
+package solvecache
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The cache sits on the admission path of every /solve request, so its
+// lookup cost is the overhead a hit saves a whole BLS run for — these
+// benches record it for the BENCH snapshot.
+
+func BenchmarkLookupHit(b *testing.B) {
+	c := New(Config{Entries: 1024})
+	k := key("m", 1, 7)
+	fillBench(b, c, k)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := c.Lookup(k); !ok {
+			b.Fatal("miss on a resident key")
+		}
+	}
+}
+
+func BenchmarkLookupMiss(b *testing.B) {
+	c := New(Config{Entries: 1024})
+	fillBench(b, c, key("m", 1, 7))
+	absent := key("m", 2, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := c.Lookup(absent); ok {
+			b.Fatal("hit on an absent key")
+		}
+	}
+}
+
+// BenchmarkDoMissStore measures the full uncached round trip: flight setup,
+// a trivial solve, store and eviction (the cache stays at capacity, so every
+// insert evicts).
+func BenchmarkDoMissStore(b *testing.B) {
+	c := New(Config{Entries: 64})
+	r := &core.Anytime{TotalRegret: 1}
+	solve := func(context.Context) *core.Anytime { return r }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, info := c.Do(context.Background(), key("m", 1, uint64(i)), solve); info.Outcome != Led {
+			b.Fatalf("outcome %v", info.Outcome)
+		}
+	}
+}
+
+func fillBench(b *testing.B, c *Cache, k Key) {
+	b.Helper()
+	if _, info := c.Do(context.Background(), k, func(context.Context) *core.Anytime {
+		return &core.Anytime{TotalRegret: 1}
+	}); info.Outcome != Led {
+		b.Fatalf("fill outcome %v", info.Outcome)
+	}
+}
