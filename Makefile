@@ -2,14 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet fmt lint bench repro examples clean check fuzz-smoke trace-demo catalog-demo cache-demo
+.PHONY: all build test test-race vet fmt lint bench bench-json scale-smoke repro examples clean check fuzz-smoke trace-demo catalog-demo cache-demo
 
 all: build test
 
 # The full pre-merge gate: build, lint (format + vet), the race-detector
-# suite, a short smoke run of every fuzz target, and the serving demos
-# (multi-instance catalog, solve-result cache).
-check: build lint test-race fuzz-smoke catalog-demo cache-demo
+# suite, a short smoke run of every fuzz target, the serving demos
+# (multi-instance catalog, solve-result cache), and the paper-scale
+# coverage smoke.
+check: build lint test-race fuzz-smoke catalog-demo cache-demo scale-smoke
 
 build:
 	$(GO) build ./...
@@ -28,6 +29,7 @@ test-race:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzPlanRoundTrip$$' -fuzztime 10s ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzSwapDeltaMerge$$' -fuzztime 10s ./internal/coverage
+	$(GO) test -run '^$$' -fuzz '^FuzzCompressedContainers$$' -fuzztime 10s ./internal/bitset
 
 vet:
 	$(GO) vet ./...
@@ -115,6 +117,24 @@ cache-demo:
 # suite measures only benchmark iterations.
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
+
+# bench-json regenerates BENCH_coverage.json — the recorded evidence for
+# the compressed coverage substrate (build/compress/solve times, memory,
+# compression ratio at 50k/500k/1.7M trajectories). The 1.7M rung takes a
+# few minutes; the dense BLS baseline runs up to 500k.
+bench-json:
+	$(GO) run ./cmd/mroambench -sizes 50000,500000,1700000 -dense-max 500000 \
+		-out BENCH_coverage.json
+
+# scale-smoke is the paper-scale regression gate in `check`: stream-build a
+# 500k-trajectory NYC universe, corridor-compress it, and finish a
+# 1-restart BLS solve — all inside one wall-clock deadline.
+scale-smoke:
+	$(GO) run ./cmd/mroambench -sizes 500000 -dense-max 0 -deadline 5m \
+		-out /tmp/mroam-scale-smoke.json
+	@grep -q '"compressed_solve_ms"' /tmp/mroam-scale-smoke.json \
+		|| { echo "scale-smoke: no solve recorded"; exit 1; }
+	@echo "scale-smoke: OK"
 
 # Regenerate the full evaluation (text + CSV) into results/.
 repro:

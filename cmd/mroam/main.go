@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/coverage"
 	"repro/internal/experiment"
 	"repro/internal/market"
 	"repro/internal/obs"
@@ -104,7 +105,7 @@ func specDefaults(scale float64) catalog.Spec {
 func cmdGen(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
 	fs.SetOutput(out)
-	spec := catalog.Bind(fs, catalog.FieldDataset, specDefaults(1.0))
+	spec := catalog.Bind(fs, catalog.FieldDataset|catalog.FieldLambda, specDefaults(1.0))
 	outDir := fs.String("out", "", "output directory (required)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -126,6 +127,15 @@ func cmdGen(args []string, out io.Writer) error {
 	row := d.Table5()
 	fmt.Fprintf(out, "wrote %s: |T|=%d |U|=%d avgDist=%.2fkm avgTime=%.0fs\n",
 		*outDir, row.NumTraj, row.NumBillboards, row.AvgDistanceKM, row.AvgTravelSec)
+	// Report the corridor structure at λ — the compression the catalog will
+	// serve this dataset on (see coverage.Compress).
+	u, err := d.BuildUniverse(s.Lambda)
+	if err != nil {
+		return err
+	}
+	_, stats := coverage.Compress(u)
+	fmt.Fprintf(out, "coverage at λ=%.0fm: %d corridors for %d covered trajectories (%.1fx compression)\n",
+		s.Lambda, stats.Corridors, stats.Covered, stats.Ratio)
 	return nil
 }
 

@@ -53,6 +53,9 @@ func TestGenAndSolveFromData(t *testing.T) {
 	if !strings.Contains(out, "wrote") || !strings.Contains(out, "|T|=800") {
 		t.Errorf("gen output: %s", out)
 	}
+	if !strings.Contains(out, "corridors") || !strings.Contains(out, "compression") {
+		t.Errorf("gen output missing corridor report: %s", out)
+	}
 	out = runCLI(t, "solve", "-data", dir, "-alg", "G-Global", "-p", "0.2", "-alpha", "0.8")
 	for _, want := range []string{"G-Global on NYC", "total regret", "satisfied"} {
 		if !strings.Contains(out, want) {

@@ -1,0 +1,970 @@
+package bitset
+
+// This file implements Compressed, a roaring-style compressed bitmap: the
+// ID space is split into fixed 2^16-bit chunks, and each non-empty chunk is
+// stored in whichever of three container encodings is smallest for its
+// contents:
+//
+//	array   sorted []uint16 of the set low bits; at most 4096 entries
+//	        (beyond that the packed bitmap is smaller)
+//	bitmap  1024 packed uint64 words (8 KiB, any cardinality)
+//	run     sorted, non-overlapping, non-adjacent inclusive intervals;
+//	        chosen when the chunk's bits cluster into few runs
+//
+// Binary operations pick a specialized routine per container-kind pair
+// (array×array merges, bitmap×bitmap works on words, run operands walk
+// their intervals), and results adaptively re-encode: an array that grows
+// past 4096 becomes a bitmap, an intersection that shrinks a bitmap to
+// ≤4096 bits becomes an array. The dense Set in this package remains the
+// reference implementation; property tests and a fuzz target hold the two
+// bit-identical over random operation sequences.
+//
+// Compressed is what lets the coverage layer hold paper-scale (millions of
+// trajectories) billboard coverage and evaluate one-shot unions without a
+// dense bit per trajectory: coverage IDs are spatially clustered, so most
+// chunks are empty and the occupied ones compress well.
+
+import (
+	"fmt"
+	"math/bits"
+	"slices"
+)
+
+const (
+	chunkBits = 1 << 16 // IDs per chunk
+	chunkMask = chunkBits - 1
+	// arrayMaxCard is the array-container capacity: past 4096 entries
+	// (2 bytes each) the 8 KiB packed bitmap is the smaller encoding.
+	arrayMaxCard = 4096
+	bitmapWords  = chunkBits / 64
+)
+
+// Container kinds.
+const (
+	arrayKind uint8 = iota
+	bitmapKind
+	runKind
+)
+
+// interval is one inclusive run [start, last] of set bits within a chunk.
+type interval struct {
+	start, last uint16
+}
+
+// container holds one chunk's bits in exactly one of the three encodings.
+// card is maintained for every kind so Count never rescans.
+type container struct {
+	kind   uint8
+	card   int
+	array  []uint16
+	bitmap []uint64
+	runs   []interval
+}
+
+// Compressed is a compressed set of non-negative int IDs. The zero value is
+// an empty set. Unlike the dense Set it has no fixed capacity: any int32 ID
+// is addressable, and memory is proportional to the encoded chunks.
+type Compressed struct {
+	keys []uint32     // chunk indices (id >> 16), sorted ascending
+	cons []*container // parallel to keys
+}
+
+// NewCompressed returns an empty compressed set.
+func NewCompressed() *Compressed { return &Compressed{} }
+
+// FromSortedIDs builds a compressed set from ascending, duplicate-free IDs,
+// choosing the smallest container encoding per chunk. It panics on negative
+// IDs and on unsorted or duplicated input — the coverage layer's lists are
+// already canonical, so a violation is a bug.
+func FromSortedIDs(ids []int32) *Compressed {
+	c := &Compressed{}
+	for i := 0; i < len(ids); {
+		if ids[i] < 0 {
+			panic("bitset: FromSortedIDs: negative ID")
+		}
+		if i > 0 && ids[i] <= ids[i-1] {
+			panic("bitset: FromSortedIDs: IDs unsorted or duplicated")
+		}
+		key := uint32(ids[i]) >> 16
+		j := i + 1
+		for j < len(ids) {
+			if ids[j] <= ids[j-1] {
+				panic("bitset: FromSortedIDs: IDs unsorted or duplicated")
+			}
+			if uint32(ids[j])>>16 != key {
+				break
+			}
+			j++
+		}
+		con := containerFromSorted(ids[i:j])
+		con.optimize()
+		c.keys = append(c.keys, key)
+		c.cons = append(c.cons, con)
+		i = j
+	}
+	return c
+}
+
+// containerFromSorted encodes one chunk's ascending IDs (all sharing the
+// same high 16 bits) as an array or bitmap by cardinality.
+func containerFromSorted(ids []int32) *container {
+	if len(ids) <= arrayMaxCard {
+		arr := make([]uint16, len(ids))
+		for i, id := range ids {
+			arr[i] = uint16(id & chunkMask)
+		}
+		return &container{kind: arrayKind, card: len(ids), array: arr}
+	}
+	bm := make([]uint64, bitmapWords)
+	for _, id := range ids {
+		low := uint(id) & chunkMask
+		bm[low>>6] |= 1 << (low & 63)
+	}
+	return &container{kind: bitmapKind, card: len(ids), bitmap: bm}
+}
+
+// findChunk returns the index of key in c.keys, or (insertion point, false).
+func (c *Compressed) findChunk(key uint32) (int, bool) {
+	return slices.BinarySearch(c.keys, key)
+}
+
+// Add sets bit id. It panics on negative IDs.
+func (c *Compressed) Add(id int) {
+	if id < 0 {
+		panic("bitset: Add: negative ID")
+	}
+	key := uint32(id) >> 16
+	low := uint16(id & chunkMask)
+	i, ok := c.findChunk(key)
+	if !ok {
+		con := &container{kind: arrayKind, card: 1, array: []uint16{low}}
+		c.keys = slices.Insert(c.keys, i, key)
+		c.cons = slices.Insert(c.cons, i, con)
+		return
+	}
+	c.cons[i].add(low)
+}
+
+// Contains reports whether bit id is set. Negative IDs are never members.
+func (c *Compressed) Contains(id int) bool {
+	if id < 0 {
+		return false
+	}
+	i, ok := c.findChunk(uint32(id) >> 16)
+	return ok && c.cons[i].contains(uint16(id&chunkMask))
+}
+
+// Count returns the number of set bits. O(number of chunks).
+func (c *Compressed) Count() int {
+	total := 0
+	for _, con := range c.cons {
+		total += con.card
+	}
+	return total
+}
+
+// IsEmpty reports whether no bits are set.
+func (c *Compressed) IsEmpty() bool { return c.Count() == 0 }
+
+// Clone returns an independent copy.
+func (c *Compressed) Clone() *Compressed {
+	n := &Compressed{
+		keys: slices.Clone(c.keys),
+		cons: make([]*container, len(c.cons)),
+	}
+	for i, con := range c.cons {
+		n.cons[i] = con.clone()
+	}
+	return n
+}
+
+// Range calls f for every set bit in ascending order; if f returns false
+// the iteration stops.
+func (c *Compressed) Range(f func(id int) bool) {
+	for i, key := range c.keys {
+		base := int(key) << 16
+		if !c.cons[i].rangeBits(base, f) {
+			return
+		}
+	}
+}
+
+// IDs appends all set bits to dst in ascending order and returns the
+// extended slice.
+func (c *Compressed) IDs(dst []int32) []int32 {
+	c.Range(func(id int) bool {
+		dst = append(dst, int32(id))
+		return true
+	})
+	return dst
+}
+
+// Equal reports whether s and t contain exactly the same bits, regardless
+// of how each chunk happens to be encoded.
+func (c *Compressed) Equal(t *Compressed) bool {
+	// Chunk key lists can differ only by empty containers, which no
+	// operation leaves behind; still, compare semantically via cardinality
+	// and membership so representation can never leak into equality.
+	if c.Count() != t.Count() {
+		return false
+	}
+	ci, ti := 0, 0
+	for ci < len(c.cons) && ti < len(t.cons) {
+		// Skip empty containers (defensive; operations prune them).
+		if c.cons[ci].card == 0 {
+			ci++
+			continue
+		}
+		if t.cons[ti].card == 0 {
+			ti++
+			continue
+		}
+		if c.keys[ci] != t.keys[ti] || c.cons[ci].card != t.cons[ti].card {
+			return false
+		}
+		if !containerSubset(c.cons[ci], t.cons[ti]) {
+			return false
+		}
+		ci++
+		ti++
+	}
+	for ; ci < len(c.cons); ci++ {
+		if c.cons[ci].card != 0 {
+			return false
+		}
+	}
+	for ; ti < len(t.cons); ti++ {
+		if t.cons[ti].card != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// containerSubset reports whether every bit of a is in b; with equal
+// cardinality this is equality.
+func containerSubset(a, b *container) bool {
+	ok := true
+	a.rangeBits(0, func(id int) bool {
+		if !b.contains(uint16(id)) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// Or sets c to the union c ∪ t.
+func (c *Compressed) Or(t *Compressed) {
+	for ti, key := range t.keys {
+		i, ok := c.findChunk(key)
+		if !ok {
+			c.keys = slices.Insert(c.keys, i, key)
+			c.cons = slices.Insert(c.cons, i, t.cons[ti].clone())
+			continue
+		}
+		c.cons[i] = orContainers(c.cons[i], t.cons[ti])
+	}
+}
+
+// And sets c to the intersection c ∩ t.
+func (c *Compressed) And(t *Compressed) {
+	outKeys := c.keys[:0]
+	outCons := c.cons[:0]
+	for i, key := range c.keys {
+		ti, ok := t.findChunk(key)
+		if !ok {
+			continue
+		}
+		con := andContainers(c.cons[i], t.cons[ti])
+		if con.card == 0 {
+			continue
+		}
+		outKeys = append(outKeys, key)
+		outCons = append(outCons, con)
+	}
+	c.keys = outKeys
+	c.cons = outCons
+}
+
+// AndNot sets c to the difference c \ t.
+func (c *Compressed) AndNot(t *Compressed) {
+	outKeys := c.keys[:0]
+	outCons := c.cons[:0]
+	for i, key := range c.keys {
+		con := c.cons[i]
+		if ti, ok := t.findChunk(key); ok {
+			con = andNotContainers(con, t.cons[ti])
+		}
+		if con.card == 0 {
+			continue
+		}
+		outKeys = append(outKeys, key)
+		outCons = append(outCons, con)
+	}
+	c.keys = outKeys
+	c.cons = outCons
+}
+
+// OrCount returns |c ∪ t| without modifying either set.
+func (c *Compressed) OrCount(t *Compressed) int {
+	// |c ∪ t| = |c| + |t| − |c ∩ t|, and intersection counting never
+	// materializes a result container.
+	return c.Count() + t.Count() - c.AndCount(t)
+}
+
+// AndCount returns |c ∩ t| without modifying either set.
+func (c *Compressed) AndCount(t *Compressed) int {
+	total := 0
+	for i, key := range c.keys {
+		if ti, ok := t.findChunk(key); ok {
+			total += andCardinality(c.cons[i], t.cons[ti])
+		}
+	}
+	return total
+}
+
+// AndNotCount returns |c \ t| without modifying either set.
+func (c *Compressed) AndNotCount(t *Compressed) int {
+	return c.Count() - c.AndCount(t)
+}
+
+// RunOptimize re-encodes every container into its smallest form, including
+// run encoding where the bits cluster into few intervals. Operations keep
+// array/bitmap forms adaptively; call RunOptimize after bulk construction
+// when the set will be held long-term.
+func (c *Compressed) RunOptimize() {
+	for _, con := range c.cons {
+		con.optimize()
+	}
+}
+
+// SizeBytes returns the approximate heap footprint of the encoded set, the
+// number the bench harness reports as the substrate's resident size.
+func (c *Compressed) SizeBytes() int {
+	total := len(c.keys)*4 + len(c.cons)*8
+	for _, con := range c.cons {
+		total += 32 // container header
+		total += len(con.array)*2 + len(con.bitmap)*8 + len(con.runs)*4
+	}
+	return total
+}
+
+// validate checks the structural invariants of every container; the fuzz
+// harness calls it after each operation. It returns the first violation.
+func (c *Compressed) validate() error {
+	for i, key := range c.keys {
+		if i > 0 && key <= c.keys[i-1] {
+			return fmt.Errorf("bitset: chunk keys unsorted at %d", i)
+		}
+		if err := c.cons[i].validate(); err != nil {
+			return fmt.Errorf("chunk %d: %w", key, err)
+		}
+	}
+	return nil
+}
+
+// ---- container operations ----
+
+func (con *container) clone() *container {
+	return &container{
+		kind:   con.kind,
+		card:   con.card,
+		array:  slices.Clone(con.array),
+		bitmap: slices.Clone(con.bitmap),
+		runs:   slices.Clone(con.runs),
+	}
+}
+
+func (con *container) validate() error {
+	switch con.kind {
+	case arrayKind:
+		if len(con.array) != con.card {
+			return fmt.Errorf("array card %d, len %d", con.card, len(con.array))
+		}
+		if con.card > arrayMaxCard {
+			return fmt.Errorf("array card %d exceeds %d", con.card, arrayMaxCard)
+		}
+		for i := 1; i < len(con.array); i++ {
+			if con.array[i] <= con.array[i-1] {
+				return fmt.Errorf("array unsorted at %d", i)
+			}
+		}
+	case bitmapKind:
+		if len(con.bitmap) != bitmapWords {
+			return fmt.Errorf("bitmap has %d words", len(con.bitmap))
+		}
+		n := 0
+		for _, w := range con.bitmap {
+			n += bits.OnesCount64(w)
+		}
+		if n != con.card {
+			return fmt.Errorf("bitmap card %d, popcount %d", con.card, n)
+		}
+	case runKind:
+		n := 0
+		for i, r := range con.runs {
+			if r.last < r.start {
+				return fmt.Errorf("run %d inverted", i)
+			}
+			if i > 0 && int(r.start) <= int(con.runs[i-1].last)+1 {
+				return fmt.Errorf("run %d overlaps or touches predecessor", i)
+			}
+			n += int(r.last) - int(r.start) + 1
+		}
+		if n != con.card {
+			return fmt.Errorf("run card %d, interval sum %d", con.card, n)
+		}
+	default:
+		return fmt.Errorf("unknown kind %d", con.kind)
+	}
+	if con.card == 0 {
+		return fmt.Errorf("empty container retained")
+	}
+	return nil
+}
+
+func (con *container) contains(low uint16) bool {
+	switch con.kind {
+	case arrayKind:
+		_, ok := slices.BinarySearch(con.array, low)
+		return ok
+	case bitmapKind:
+		return con.bitmap[low>>6]&(1<<(low&63)) != 0
+	default:
+		_, ok := slices.BinarySearchFunc(con.runs, low, func(r interval, v uint16) int {
+			if r.last < v {
+				return -1
+			}
+			if r.start > v {
+				return 1
+			}
+			return 0
+		})
+		return ok
+	}
+}
+
+// add sets one bit, re-encoding as needed (array past 4096 becomes a
+// bitmap; run containers mutate by first lowering to array or bitmap).
+func (con *container) add(low uint16) {
+	switch con.kind {
+	case arrayKind:
+		i, ok := slices.BinarySearch(con.array, low)
+		if ok {
+			return
+		}
+		if con.card >= arrayMaxCard {
+			con.toBitmap()
+			con.add(low)
+			return
+		}
+		con.array = slices.Insert(con.array, i, low)
+		con.card++
+	case bitmapKind:
+		w, b := low>>6, uint64(1)<<(low&63)
+		if con.bitmap[w]&b == 0 {
+			con.bitmap[w] |= b
+			con.card++
+		}
+	default:
+		if con.contains(low) {
+			return
+		}
+		con.lowerRuns()
+		con.add(low)
+	}
+}
+
+// toBitmap re-encodes an array or run container as a bitmap in place.
+func (con *container) toBitmap() {
+	bm := make([]uint64, bitmapWords)
+	switch con.kind {
+	case arrayKind:
+		for _, v := range con.array {
+			bm[v>>6] |= 1 << (v & 63)
+		}
+	case runKind:
+		for _, r := range con.runs {
+			setBitmapRange(bm, int(r.start), int(r.last))
+		}
+	}
+	con.kind = bitmapKind
+	con.bitmap = bm
+	con.array = nil
+	con.runs = nil
+}
+
+// toArray re-encodes a bitmap or run container as an array in place; the
+// caller guarantees card ≤ arrayMaxCard.
+func (con *container) toArray() {
+	arr := make([]uint16, 0, con.card)
+	switch con.kind {
+	case bitmapKind:
+		for wi, w := range con.bitmap {
+			for w != 0 {
+				arr = append(arr, uint16(wi<<6+bits.TrailingZeros64(w)))
+				w &= w - 1
+			}
+		}
+	case runKind:
+		for _, r := range con.runs {
+			for v := int(r.start); v <= int(r.last); v++ {
+				arr = append(arr, uint16(v))
+			}
+		}
+	}
+	con.kind = arrayKind
+	con.array = arr
+	con.bitmap = nil
+	con.runs = nil
+}
+
+// lowerRuns re-encodes a run container into array or bitmap (by
+// cardinality) so mutation paths only deal with two kinds.
+func (con *container) lowerRuns() {
+	if con.card <= arrayMaxCard {
+		con.toArray()
+	} else {
+		con.toBitmap()
+	}
+}
+
+// setBitmapRange sets bits [start, last] (inclusive) word-at-a-time.
+func setBitmapRange(bm []uint64, start, last int) {
+	sw, lw := start>>6, last>>6
+	startMask := ^uint64(0) << (uint(start) & 63)
+	lastMask := ^uint64(0) >> (63 - uint(last)&63)
+	if sw == lw {
+		bm[sw] |= startMask & lastMask
+		return
+	}
+	bm[sw] |= startMask
+	for w := sw + 1; w < lw; w++ {
+		bm[w] = ^uint64(0)
+	}
+	bm[lw] |= lastMask
+}
+
+// numRuns counts the maximal runs of consecutive set bits.
+func (con *container) numRuns() int {
+	switch con.kind {
+	case runKind:
+		return len(con.runs)
+	case arrayKind:
+		n := 0
+		for i, v := range con.array {
+			if i == 0 || v != con.array[i-1]+1 {
+				n++
+			}
+		}
+		return n
+	default:
+		// Each run contributes one rising edge: a set bit whose
+		// predecessor is clear. Count rising edges across word borders.
+		n := 0
+		var carry uint64 // MSB of the previous word
+		for _, w := range con.bitmap {
+			n += bits.OnesCount64(w &^ ((w << 1) | carry))
+			carry = w >> 63
+		}
+		return n
+	}
+}
+
+// runsFrom collects the container's bits as intervals.
+func (con *container) runsFrom() []interval {
+	var runs []interval
+	open := false
+	var start, prev uint16
+	con.rangeBits(0, func(id int) bool {
+		v := uint16(id)
+		if !open {
+			open, start, prev = true, v, v
+			return true
+		}
+		if v == prev+1 {
+			prev = v
+			return true
+		}
+		runs = append(runs, interval{start: start, last: prev})
+		start, prev = v, v
+		return true
+	})
+	if open {
+		runs = append(runs, interval{start: start, last: prev})
+	}
+	return runs
+}
+
+// optimize re-encodes the container into its smallest of the three forms.
+// Sizes: array 2·card bytes, bitmap 8192 bytes, runs 4·numRuns bytes.
+func (con *container) optimize() {
+	runs := con.numRuns()
+	runBytes := 4 * runs
+	arrBytes := 2 * con.card
+	if con.card > arrayMaxCard {
+		arrBytes = 1 << 30 // array encoding unavailable
+	}
+	bmBytes := 8192
+	switch {
+	case runBytes < arrBytes && runBytes < bmBytes:
+		if con.kind != runKind {
+			rs := con.runsFrom()
+			con.kind = runKind
+			con.runs = rs
+			con.array = nil
+			con.bitmap = nil
+		}
+	case arrBytes <= bmBytes:
+		if con.kind != arrayKind {
+			con.toArray()
+		}
+	default:
+		if con.kind != bitmapKind {
+			con.toBitmap()
+		}
+	}
+}
+
+// rangeBits calls f(base + bit) for each set bit ascending; false stops and
+// propagates.
+func (con *container) rangeBits(base int, f func(int) bool) bool {
+	switch con.kind {
+	case arrayKind:
+		for _, v := range con.array {
+			if !f(base + int(v)) {
+				return false
+			}
+		}
+	case bitmapKind:
+		for wi, w := range con.bitmap {
+			for w != 0 {
+				if !f(base + wi<<6 + bits.TrailingZeros64(w)) {
+					return false
+				}
+				w &= w - 1
+			}
+		}
+	default:
+		for _, r := range con.runs {
+			for v := int(r.start); v <= int(r.last); v++ {
+				if !f(base + v) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// ---- pairwise container operations ----
+//
+// Each operation dispatches on the (receiver kind, operand kind) pair. The
+// hot pairs get dedicated merge loops; pairs involving run operands walk
+// the interval list directly, so a run container never needs materializing
+// just to be read.
+
+// orContainers returns dst ∪ src, reusing dst's storage where possible
+// (dst is owned by the receiving set; src is never modified).
+func orContainers(dst, src *container) *container {
+	switch {
+	case dst.kind == bitmapKind && src.kind == bitmapKind:
+		card := 0
+		for i, w := range src.bitmap {
+			dst.bitmap[i] |= w
+			card += bits.OnesCount64(dst.bitmap[i])
+		}
+		dst.card = card
+		return dst
+	case dst.kind == bitmapKind && src.kind == arrayKind:
+		for _, v := range src.array {
+			w, b := v>>6, uint64(1)<<(v&63)
+			if dst.bitmap[w]&b == 0 {
+				dst.bitmap[w] |= b
+				dst.card++
+			}
+		}
+		return dst
+	case dst.kind == bitmapKind && src.kind == runKind:
+		for _, r := range src.runs {
+			setBitmapRange(dst.bitmap, int(r.start), int(r.last))
+		}
+		card := 0
+		for _, w := range dst.bitmap {
+			card += bits.OnesCount64(w)
+		}
+		dst.card = card
+		return dst
+	case dst.kind == arrayKind && src.kind == arrayKind:
+		merged := mergeUnion(dst.array, src.array)
+		if len(merged) <= arrayMaxCard {
+			dst.array = merged
+			dst.card = len(merged)
+			return dst
+		}
+		// Past the array capacity: re-encode the merged result as a bitmap.
+		bm := make([]uint64, bitmapWords)
+		for _, v := range merged {
+			bm[v>>6] |= 1 << (v & 63)
+		}
+		return &container{kind: bitmapKind, card: len(merged), bitmap: bm}
+	case dst.kind == runKind && src.kind == runKind:
+		runs := mergeRunUnion(dst.runs, src.runs)
+		card := 0
+		for _, r := range runs {
+			card += int(r.last) - int(r.start) + 1
+		}
+		dst.runs = runs
+		dst.card = card
+		return dst
+	default:
+		// Remaining mixed pairs (array∪run, run∪array, array∪bitmap,
+		// run∪bitmap): lift the destination to a bitmap and retry with a
+		// bitmap receiver, which handles every operand kind directly.
+		dst.toBitmap()
+		return orContainers(dst, src)
+	}
+}
+
+// mergeUnion merges two sorted duplicate-free uint16 slices.
+func mergeUnion(a, b []uint16) []uint16 {
+	out := make([]uint16, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i, j = i+1, j+1
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// mergeRunUnion merges two sorted interval lists, coalescing overlaps and
+// adjacency.
+func mergeRunUnion(a, b []interval) []interval {
+	out := make([]interval, 0, len(a)+len(b))
+	i, j := 0, 0
+	appendRun := func(r interval) {
+		if n := len(out); n > 0 && int(r.start) <= int(out[n-1].last)+1 {
+			if r.last > out[n-1].last {
+				out[n-1].last = r.last
+			}
+			return
+		}
+		out = append(out, r)
+	}
+	for i < len(a) || j < len(b) {
+		switch {
+		case j == len(b) || (i < len(a) && a[i].start <= b[j].start):
+			appendRun(a[i])
+			i++
+		default:
+			appendRun(b[j])
+			j++
+		}
+	}
+	return out
+}
+
+// andContainers returns dst ∩ src as a fresh or reused container.
+func andContainers(dst, src *container) *container {
+	switch {
+	case dst.kind == arrayKind:
+		// Filter dst's array through src membership, cheapest for every
+		// src kind (membership is O(log) or O(1)).
+		out := dst.array[:0]
+		for _, v := range dst.array {
+			if src.contains(v) {
+				out = append(out, v)
+			}
+		}
+		dst.array = out
+		dst.card = len(out)
+		return dst
+	case src.kind == arrayKind:
+		// Result cardinality ≤ |src.array| ≤ 4096: build an array.
+		out := make([]uint16, 0, min(dst.card, src.card))
+		for _, v := range src.array {
+			if dst.contains(v) {
+				out = append(out, v)
+			}
+		}
+		return &container{kind: arrayKind, card: len(out), array: out}
+	case dst.kind == bitmapKind && src.kind == bitmapKind:
+		card := 0
+		for i, w := range src.bitmap {
+			dst.bitmap[i] &= w
+			card += bits.OnesCount64(dst.bitmap[i])
+		}
+		dst.card = card
+		if card <= arrayMaxCard {
+			dst.toArray()
+		}
+		return dst
+	case dst.kind == bitmapKind && src.kind == runKind:
+		// Keep only bits inside src's intervals: AND with the run mask.
+		masked := make([]uint64, bitmapWords)
+		for _, r := range src.runs {
+			setBitmapRange(masked, int(r.start), int(r.last))
+		}
+		card := 0
+		for i := range dst.bitmap {
+			dst.bitmap[i] &= masked[i]
+			card += bits.OnesCount64(dst.bitmap[i])
+		}
+		dst.card = card
+		if card <= arrayMaxCard {
+			dst.toArray()
+		}
+		return dst
+	default:
+		// dst is a run container with a bitmap or run operand: lower it
+		// (runs are cheap to lower) and retry on the array/bitmap paths.
+		dst.lowerRuns()
+		return andContainers(dst, src)
+	}
+}
+
+// andNotContainers returns dst \ src.
+func andNotContainers(dst, src *container) *container {
+	switch {
+	case dst.kind == arrayKind:
+		out := dst.array[:0]
+		for _, v := range dst.array {
+			if !src.contains(v) {
+				out = append(out, v)
+			}
+		}
+		dst.array = out
+		dst.card = len(out)
+		return dst
+	case dst.kind == bitmapKind && src.kind == bitmapKind:
+		card := 0
+		for i, w := range src.bitmap {
+			dst.bitmap[i] &^= w
+			card += bits.OnesCount64(dst.bitmap[i])
+		}
+		dst.card = card
+		if card <= arrayMaxCard {
+			dst.toArray()
+		}
+		return dst
+	case dst.kind == bitmapKind && src.kind == arrayKind:
+		for _, v := range src.array {
+			w, b := v>>6, uint64(1)<<(v&63)
+			if dst.bitmap[w]&b != 0 {
+				dst.bitmap[w] &^= b
+				dst.card--
+			}
+		}
+		if dst.card <= arrayMaxCard {
+			dst.toArray()
+		}
+		return dst
+	case dst.kind == bitmapKind && src.kind == runKind:
+		for _, r := range src.runs {
+			clearBitmapRange(dst.bitmap, int(r.start), int(r.last))
+		}
+		card := 0
+		for _, w := range dst.bitmap {
+			card += bits.OnesCount64(w)
+		}
+		dst.card = card
+		if card <= arrayMaxCard {
+			dst.toArray()
+		}
+		return dst
+	default:
+		dst.lowerRuns()
+		return andNotContainers(dst, src)
+	}
+}
+
+// clearBitmapRange clears bits [start, last] (inclusive) word-at-a-time.
+func clearBitmapRange(bm []uint64, start, last int) {
+	sw, lw := start>>6, last>>6
+	startMask := ^uint64(0) << (uint(start) & 63)
+	lastMask := ^uint64(0) >> (63 - uint(last)&63)
+	if sw == lw {
+		bm[sw] &^= startMask & lastMask
+		return
+	}
+	bm[sw] &^= startMask
+	for w := sw + 1; w < lw; w++ {
+		bm[w] = 0
+	}
+	bm[lw] &^= lastMask
+}
+
+// andCardinality returns |a ∩ b| without materializing the intersection.
+func andCardinality(a, b *container) int {
+	// Order so the cheaper probe side drives the loop.
+	switch {
+	case a.kind == bitmapKind && b.kind == bitmapKind:
+		n := 0
+		for i, w := range a.bitmap {
+			n += bits.OnesCount64(w & b.bitmap[i])
+		}
+		return n
+	case a.kind == arrayKind:
+		n := 0
+		for _, v := range a.array {
+			if b.contains(v) {
+				n++
+			}
+		}
+		return n
+	case b.kind == arrayKind:
+		return andCardinality(b, a)
+	case a.kind == runKind && b.kind == bitmapKind:
+		n := 0
+		for _, r := range a.runs {
+			n += popcountRange(b.bitmap, int(r.start), int(r.last))
+		}
+		return n
+	case a.kind == bitmapKind && b.kind == runKind:
+		return andCardinality(b, a)
+	default: // run ∩ run: walk both interval lists.
+		n := 0
+		i, j := 0, 0
+		for i < len(a.runs) && j < len(b.runs) {
+			lo := max(a.runs[i].start, b.runs[j].start)
+			hi := min(a.runs[i].last, b.runs[j].last)
+			if lo <= hi {
+				n += int(hi) - int(lo) + 1
+			}
+			if a.runs[i].last < b.runs[j].last {
+				i++
+			} else {
+				j++
+			}
+		}
+		return n
+	}
+}
+
+// popcountRange counts set bits of bm within [start, last] inclusive.
+func popcountRange(bm []uint64, start, last int) int {
+	sw, lw := start>>6, last>>6
+	startMask := ^uint64(0) << (uint(start) & 63)
+	lastMask := ^uint64(0) >> (63 - uint(last)&63)
+	if sw == lw {
+		return bits.OnesCount64(bm[sw] & startMask & lastMask)
+	}
+	n := bits.OnesCount64(bm[sw] & startMask)
+	for w := sw + 1; w < lw; w++ {
+		n += bits.OnesCount64(bm[w])
+	}
+	return n + bits.OnesCount64(bm[lw]&lastMask)
+}

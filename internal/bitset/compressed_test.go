@@ -1,0 +1,312 @@
+package bitset
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+// oracleCap bounds the ID space of the property tests: a bit over three
+// chunks so every test crosses chunk boundaries and exercises mixed
+// container kinds.
+const oracleCap = 3*chunkBits + 1000
+
+// idSpace is a reproducible random ID sample: skewed so some chunks go
+// dense (bitmap), some stay sparse (array), and some cluster into runs.
+func randomIDs(r *rand.Rand) []int32 {
+	var ids []int32
+	// Sparse tail across the whole space.
+	for i, n := 0, r.Intn(500); i < n; i++ {
+		ids = append(ids, int32(r.Intn(oracleCap)))
+	}
+	// A dense region inside chunk 1 to force a bitmap container.
+	if r.Intn(2) == 0 {
+		base := chunkBits + r.Intn(chunkBits/2)
+		for i, n := 0, 5000+r.Intn(3000); i < n; i++ {
+			ids = append(ids, int32(base+r.Intn(chunkBits/2))%oracleCap)
+		}
+	}
+	// Contiguous runs straddling the chunk-2 boundary.
+	if r.Intn(2) == 0 {
+		start := 2*chunkBits - r.Intn(200) - 1
+		for i, n := 0, r.Intn(400)+1; i < n; i++ {
+			ids = append(ids, int32(start+i))
+		}
+	}
+	slices.Sort(ids)
+	return slices.Compact(ids)
+}
+
+// buildPair constructs the dense oracle and the compressed set from the
+// same sorted ID list.
+func buildPair(ids []int32) (*Set, *Compressed) {
+	d := New(oracleCap)
+	d.SetIDs(ids)
+	c := FromSortedIDs(ids)
+	return d, c
+}
+
+// agree fails the test if the compressed set and the dense oracle differ in
+// membership, count, or iteration order.
+func agree(t *testing.T, label string, d *Set, c *Compressed) {
+	t.Helper()
+	if err := c.validate(); err != nil {
+		t.Fatalf("%s: invalid compressed set: %v", label, err)
+	}
+	if d.Count() != c.Count() {
+		t.Fatalf("%s: count dense=%d compressed=%d", label, d.Count(), c.Count())
+	}
+	want := d.IDs(nil)
+	got := c.IDs(nil)
+	if !slices.Equal(want, got) {
+		t.Fatalf("%s: ID streams differ (dense %d IDs, compressed %d IDs)", label, len(want), len(got))
+	}
+}
+
+func TestCompressedQuickAgainstDenseOracle(t *testing.T) {
+	// testing/quick drives the seed; each iteration builds two random sets
+	// and checks construction, membership, and every binary op against the
+	// dense oracle.
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		aIDs, bIDs := randomIDs(r), randomIDs(r)
+		da, ca := buildPair(aIDs)
+		db, cb := buildPair(bIDs)
+		agree(t, "build a", da, ca)
+		agree(t, "build b", db, cb)
+
+		// Membership probes, including guaranteed members.
+		for i := 0; i < 200; i++ {
+			id := r.Intn(oracleCap)
+			if da.Test(id) != ca.Contains(id) {
+				t.Errorf("seed %d: Contains(%d) mismatch", seed, id)
+				return false
+			}
+		}
+		for _, id := range aIDs {
+			if !ca.Contains(int(id)) {
+				t.Errorf("seed %d: member %d missing", seed, id)
+				return false
+			}
+		}
+
+		// Non-mutating counts.
+		if got, want := ca.OrCount(cb), da.OrCount(db); got != want {
+			t.Errorf("seed %d: OrCount=%d want %d", seed, got, want)
+			return false
+		}
+		if got, want := ca.AndCount(cb), da.AndCount(db); got != want {
+			t.Errorf("seed %d: AndCount=%d want %d", seed, got, want)
+			return false
+		}
+		if got, want := ca.AndNotCount(cb), da.AndNotCount(db); got != want {
+			t.Errorf("seed %d: AndNotCount=%d want %d", seed, got, want)
+			return false
+		}
+
+		// Mutating ops on clones, with run-optimized variants of the same
+		// operands so the run-container code paths get the same scrutiny.
+		for _, optimized := range []bool{false, true} {
+			opA, opB := ca.Clone(), cb.Clone()
+			if optimized {
+				opA.RunOptimize()
+				opB.RunOptimize()
+			}
+			u, uo := da.Clone(), opA.Clone()
+			uo.Or(opB)
+			u.Or(db)
+			agree(t, "or", u, uo)
+
+			x, xo := da.Clone(), opA.Clone()
+			xo.And(opB)
+			x.And(db)
+			agree(t, "and", x, xo)
+
+			n, no := da.Clone(), opA.Clone()
+			no.AndNot(opB)
+			n.AndNot(db)
+			agree(t, "andnot", n, no)
+
+			plain := ca.Clone()
+			plain.Or(cb)
+			if !uo.Equal(plain) {
+				t.Errorf("seed %d: optimized and plain unions not Equal", seed)
+				return false
+			}
+		}
+		return !t.Failed()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressedAddMatchesFromSorted(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	ids := randomIDs(r)
+	fromSorted := FromSortedIDs(ids)
+	incremental := NewCompressed()
+	// Insert in shuffled order; Add must converge to the same set.
+	shuffled := slices.Clone(ids)
+	r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	for _, id := range shuffled {
+		incremental.Add(int(id))
+	}
+	if !fromSorted.Equal(incremental) {
+		t.Fatal("incremental Add and FromSortedIDs disagree")
+	}
+	if err := incremental.validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestContainerTransitionBoundaries pins the adaptive re-encoding edges:
+// array→bitmap exactly past 4096 cardinality, bitmap→array when an
+// intersection shrinks below it, and run encoding at chunk edges
+// 65535/65536.
+func TestContainerTransitionBoundaries(t *testing.T) {
+	// Fill one chunk to exactly arrayMaxCard via Add: must stay an array.
+	c := NewCompressed()
+	for i := 0; i < arrayMaxCard; i++ {
+		c.Add(i * 2) // spaced: no run compression temptation
+	}
+	if got := c.cons[0].kind; got != arrayKind {
+		t.Fatalf("at card %d: kind=%d want array", arrayMaxCard, got)
+	}
+	// One more bit crosses the boundary: must convert to bitmap.
+	c.Add(arrayMaxCard * 2)
+	if got := c.cons[0].kind; got != bitmapKind {
+		t.Fatalf("at card %d: kind=%d want bitmap", arrayMaxCard+1, got)
+	}
+	if c.Count() != arrayMaxCard+1 {
+		t.Fatalf("count=%d want %d", c.Count(), arrayMaxCard+1)
+	}
+
+	// Intersecting the bitmap chunk with a small array must shrink the
+	// result back to an array container.
+	small := NewCompressed()
+	small.Add(0)
+	small.Add(2)
+	small.Add(3) // not a member of c
+	c.And(small)
+	if got := c.cons[0].kind; got != arrayKind {
+		t.Fatalf("after shrink: kind=%d want array", got)
+	}
+	if got := c.IDs(nil); !slices.Equal(got, []int32{0, 2}) {
+		t.Fatalf("after shrink: IDs=%v", got)
+	}
+
+	// A contiguous range spanning the chunk edge 65535→65536 must split
+	// into two containers and round-trip exactly.
+	var ids []int32
+	for i := chunkBits - 10; i < chunkBits+10; i++ {
+		ids = append(ids, int32(i))
+	}
+	edge := FromSortedIDs(ids)
+	if len(edge.cons) != 2 {
+		t.Fatalf("edge set has %d chunks, want 2", len(edge.cons))
+	}
+	if !edge.Contains(chunkBits-1) || !edge.Contains(chunkBits) {
+		t.Fatal("edge bits 65535/65536 missing")
+	}
+	edge.RunOptimize()
+	for i, con := range edge.cons {
+		if con.kind != runKind {
+			t.Fatalf("edge chunk %d: kind=%d want run after RunOptimize", i, con.kind)
+		}
+	}
+	if got := edge.IDs(nil); !slices.Equal(got, ids) {
+		t.Fatalf("edge IDs after RunOptimize: %v", got)
+	}
+
+	// A full chunk (all 65536 bits) must encode as a single run and
+	// operations on it must stay correct.
+	full := make([]int32, chunkBits)
+	for i := range full {
+		full[i] = int32(i)
+	}
+	fc := FromSortedIDs(full)
+	fc.RunOptimize()
+	if fc.cons[0].kind != runKind || len(fc.cons[0].runs) != 1 {
+		t.Fatalf("full chunk: kind=%d runs=%d", fc.cons[0].kind, len(fc.cons[0].runs))
+	}
+	if fc.Count() != chunkBits {
+		t.Fatalf("full chunk count=%d", fc.Count())
+	}
+	probe := FromSortedIDs([]int32{0, 65535, 65536})
+	if got := fc.AndCount(probe); got != 2 {
+		t.Fatalf("full∩probe=%d want 2", got)
+	}
+	fc.AndNot(probe)
+	if fc.Count() != chunkBits-2 || fc.Contains(0) || fc.Contains(65535) {
+		t.Fatal("full\\probe wrong")
+	}
+	if err := fc.validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressedEqualAcrossEncodings(t *testing.T) {
+	ids := make([]int32, 0, 6000)
+	for i := 0; i < 6000; i++ {
+		ids = append(ids, int32(i)) // one dense run: bitmap by cardinality
+	}
+	a := FromSortedIDs(ids) // FromSortedIDs optimizes: run encoding
+	b := NewCompressed()    // incremental: bitmap encoding, never optimized
+	for _, id := range ids {
+		b.Add(int(id))
+	}
+	if a.cons[0].kind == b.cons[0].kind {
+		t.Fatalf("want differing encodings, both kind=%d", a.cons[0].kind)
+	}
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("semantically equal sets with different encodings not Equal")
+	}
+	b.Add(70000)
+	if a.Equal(b) {
+		t.Fatal("unequal sets reported Equal")
+	}
+}
+
+func TestCompressedSizeBytesCompresses(t *testing.T) {
+	// A clustered million-ID set must encode far below the dense
+	// equivalent (one bit per ID of capacity).
+	var ids []int32
+	for base := 0; base < 1_000_000; base += 10_000 {
+		for i := 0; i < 2_000; i++ {
+			ids = append(ids, int32(base+i))
+		}
+	}
+	c := FromSortedIDs(ids)
+	c.RunOptimize()
+	dense := 1_000_000 / 8
+	if c.SizeBytes() >= dense/10 {
+		t.Fatalf("SizeBytes=%d, want <%d (10%% of dense)", c.SizeBytes(), dense/10)
+	}
+	if c.Count() != len(ids) {
+		t.Fatalf("count=%d want %d", c.Count(), len(ids))
+	}
+}
+
+func BenchmarkCompressedOrCount(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x := FromSortedIDs(randomIDs(r))
+	y := FromSortedIDs(randomIDs(r))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.OrCount(y)
+	}
+}
+
+func BenchmarkDenseOrCount(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x, _ := buildPair(randomIDs(r))
+	y, _ := buildPair(randomIDs(r))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.OrCount(y)
+	}
+}

@@ -1,0 +1,140 @@
+package bitset
+
+import (
+	"slices"
+	"testing"
+)
+
+// fuzzCap covers three chunks so the op stream can exercise chunk edges
+// (65535/65536) and mixed container kinds across chunks.
+const fuzzCap = 3 * chunkBits
+
+// decodeFuzzOps interprets data as 3-byte records: opcode (low 3 bits of
+// byte 0), target chunk (next 2 bits), and a 16-bit in-chunk value. The
+// encoding guarantees every record is meaningful — there is no way to
+// produce an out-of-range ID — so the fuzzer spends its budget on container
+// transitions, not input validation.
+type fuzzOp struct {
+	op int
+	id int
+}
+
+func decodeFuzzOps(data []byte) []fuzzOp {
+	ops := make([]fuzzOp, 0, len(data)/3)
+	for i := 0; i+2 < len(data); i += 3 {
+		op := int(data[i]) & 7
+		chunk := (int(data[i]) >> 3) % 3
+		v := int(data[i+1]) | int(data[i+2])<<8
+		ops = append(ops, fuzzOp{op: op, id: chunk*chunkBits + v})
+	}
+	return ops
+}
+
+// FuzzCompressedContainers drives a compressed set and the dense oracle
+// through the same operation stream and checks bit-identical state plus the
+// structural container invariants after every step. The range op (7) sets
+// 256 bits at once, so short inputs can push an array container across the
+// 4096-cardinality boundary into bitmap form and back down via And/AndNot.
+func FuzzCompressedContainers(f *testing.F) {
+	// Array→bitmap crossing: 17 range ops = 4352 bits in chunk 0.
+	var grow []byte
+	for i := 0; i < 17; i++ {
+		v := i * 256
+		grow = append(grow, 7, byte(v), byte(v>>8))
+	}
+	f.Add(grow)
+	// Chunk-edge straddle: a range starting at 65535-128 plus single adds
+	// at the first bits of chunk 1, then a union.
+	edge := chunkBits - 128
+	f.Add([]byte{
+		7, byte(edge & 0xff), byte(edge >> 8),
+		1 | 1<<3, 0, 0,
+		1 | 1<<3, 1, 0,
+		2, 0, 0,
+	})
+	// Shrink transitions: grow, RunOptimize, intersect with a small aux.
+	f.Add(append(slices.Clone(grow), []byte{
+		5, 0, 0,
+		1, 10, 0,
+		1, 244, 1,
+		3, 0, 0,
+	}...))
+	// Difference on the full-chunk edge value 65535.
+	f.Add([]byte{
+		0, 255, 255,
+		1, 255, 255,
+		4, 0, 0,
+		6, 0, 0,
+	})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := New(fuzzCap)
+		c := NewCompressed()
+		dAux := New(fuzzCap)
+		cAux := NewCompressed()
+
+		for _, rec := range decodeFuzzOps(data) {
+			switch rec.op {
+			case 0:
+				d.Set(rec.id)
+				c.Add(rec.id)
+			case 1:
+				dAux.Set(rec.id)
+				cAux.Add(rec.id)
+			case 2:
+				d.Or(dAux)
+				c.Or(cAux)
+			case 3:
+				d.And(dAux)
+				c.And(cAux)
+			case 4:
+				d.AndNot(dAux)
+				c.AndNot(cAux)
+			case 5:
+				c.RunOptimize()
+			case 6:
+				if got, want := c.OrCount(cAux), d.OrCount(dAux); got != want {
+					t.Fatalf("OrCount=%d want %d", got, want)
+				}
+				if got, want := c.AndCount(cAux), d.AndCount(dAux); got != want {
+					t.Fatalf("AndCount=%d want %d", got, want)
+				}
+				if got, want := c.AndNotCount(cAux), d.AndNotCount(dAux); got != want {
+					t.Fatalf("AndNotCount=%d want %d", got, want)
+				}
+			default: // 7: set a 256-bit range from id, clipped to capacity
+				end := rec.id + 256
+				if end > fuzzCap {
+					end = fuzzCap
+				}
+				for i := rec.id; i < end; i++ {
+					d.Set(i)
+					c.Add(i)
+				}
+			}
+			if err := c.validate(); err != nil {
+				t.Fatalf("after op %d: %v", rec.op, err)
+			}
+			if err := cAux.validate(); err != nil {
+				t.Fatalf("aux after op %d: %v", rec.op, err)
+			}
+		}
+
+		final := func(label string, dd *Set, cc *Compressed) {
+			if dd.Count() != cc.Count() {
+				t.Fatalf("%s: count dense=%d compressed=%d", label, dd.Count(), cc.Count())
+			}
+			if !slices.Equal(dd.IDs(nil), cc.IDs(nil)) {
+				t.Fatalf("%s: ID streams differ", label)
+			}
+			// Round-trip through the canonical constructor must be Equal
+			// regardless of how the op stream left the containers encoded.
+			rt := FromSortedIDs(cc.IDs(nil))
+			if !rt.Equal(cc) || !cc.Equal(rt) {
+				t.Fatalf("%s: round-trip not Equal", label)
+			}
+		}
+		final("main", d, c)
+		final("aux", dAux, cAux)
+	})
+}

@@ -22,6 +22,11 @@ type BuildInfo struct {
 	Trajectories int `json:"trajectories"`
 	Billboards   int `json:"billboards"`
 	Advertisers  int `json:"advertisers"`
+	// Corridors is the compressed coverage ID space: the number of
+	// distinct coverage signatures the trajectories collapse into.
+	Corridors int `json:"corridors"`
+	// CompressionRatio is Trajectories / Corridors.
+	CompressionRatio float64 `json:"compression_ratio"`
 	// BuildMS is the wall-clock build time in milliseconds.
 	BuildMS float64 `json:"build_ms"`
 }
@@ -29,21 +34,54 @@ type BuildInfo struct {
 // BuildDataset loads (Spec.Data) or generates (Spec.City at Spec.Scale) the
 // dataset a Spec names. This is the repository's single call site of
 // dataset.Load/dataset.Generate outside tests; every CLI subcommand and the
-// daemon route through it.
+// daemon route through it. Paper-scale ("scale" tier) instances cannot be
+// materialized as a Dataset — Build streams them straight into a coverage
+// universe — so commands that need raw trajectories reject that tier here.
 func BuildDataset(s Spec) (*dataset.Dataset, error) {
+	if s.Tier == TierScale {
+		return nil, fmt.Errorf("catalog: tier %q datasets are streamed, not materialized; only Build can construct them", TierScale)
+	}
 	if s.Data != "" {
 		return dataset.Load(s.Data)
 	}
+	cfg, err := datasetConfig(s)
+	if err != nil {
+		return nil, err
+	}
+	return dataset.Generate(cfg)
+}
+
+// datasetConfig resolves the generator configuration a (normalized) Spec
+// names: the city defaults scaled by Spec.Scale on the default tier, the
+// paper-scale configuration with Scale applied to the trajectory count only
+// on the "scale" tier (the billboard inventory is part of the paper's
+// Table 5 and does not shrink).
+func datasetConfig(s Spec) (dataset.Config, error) {
 	var cfg dataset.Config
 	switch strings.ToUpper(s.City) {
 	case "", "NYC":
-		cfg = dataset.DefaultNYC(s.Seed)
+		if s.Tier == TierScale {
+			cfg = dataset.PaperNYC(s.Seed)
+		} else {
+			cfg = dataset.DefaultNYC(s.Seed)
+		}
 	case "SG":
-		cfg = dataset.DefaultSG(s.Seed)
+		if s.Tier == TierScale {
+			cfg = dataset.PaperSG(s.Seed)
+		} else {
+			cfg = dataset.DefaultSG(s.Seed)
+		}
 	default:
-		return nil, fmt.Errorf("catalog: unknown city %q (want NYC or SG)", s.City)
+		return dataset.Config{}, fmt.Errorf("catalog: unknown city %q (want NYC or SG)", s.City)
 	}
-	return dataset.Generate(cfg.Scale(s.Scale))
+	if s.Tier == TierScale {
+		cfg.Trajectories = int(float64(cfg.Trajectories) * s.Scale)
+		if cfg.Trajectories < 1 {
+			cfg.Trajectories = 1
+		}
+		return cfg, nil
+	}
+	return cfg.Scale(s.Scale), nil
 }
 
 // Market generates the advertiser set for the universe and wraps it into an
@@ -55,35 +93,63 @@ func Market(u *coverage.Universe, cfg market.Config, gamma float64, r *rng.RNG) 
 	return market.NewInstance(u, cfg, gamma, r)
 }
 
-// Build runs the full pipeline for one Spec: dataset (generate or load) →
-// coverage universe at λ → advertiser market at (α, p, γ). The returned
-// instance is immutable and safe for any number of concurrent solves; equal
-// Specs build instances on which the solvers return bit-identical plans.
+// Build runs the full pipeline for one Spec: dataset (generate, load, or —
+// on the "scale" tier — streamed) → coverage universe at λ → corridor
+// compression → advertiser market at (α, p, γ). The returned instance is
+// immutable and safe for any number of concurrent solves; equal Specs build
+// instances on which the solvers return bit-identical plans.
+//
+// Every instance is served on the corridor-compressed substrate. This is
+// invisible to callers — all influence quantities are expressed in raw
+// trajectories, and compression preserves them exactly (see
+// coverage.Compress) — but per-advertiser state shrinks from |T| to the
+// corridor count, which is what makes paper-scale instances solvable
+// in memory.
 func Build(s Spec) (*core.Instance, BuildInfo, error) {
 	start := time.Now()
 	s = s.Normalized()
 	if err := s.Validate(); err != nil {
 		return nil, BuildInfo{}, err
 	}
-	d, err := BuildDataset(s)
-	if err != nil {
-		return nil, BuildInfo{}, err
+
+	var u *coverage.Universe
+	var city string
+	if s.Tier == TierScale {
+		cfg, err := datasetConfig(s)
+		if err != nil {
+			return nil, BuildInfo{}, err
+		}
+		streamed, err := dataset.GenerateUniverse(cfg, dataset.StreamOptions{Lambda: s.Lambda})
+		if err != nil {
+			return nil, BuildInfo{}, err
+		}
+		u, city = streamed.Universe, cfg.City.String()
+	} else {
+		d, err := BuildDataset(s)
+		if err != nil {
+			return nil, BuildInfo{}, err
+		}
+		du, err := d.BuildUniverse(s.Lambda)
+		if err != nil {
+			return nil, BuildInfo{}, err
+		}
+		u, city = du, d.Config.City.String()
 	}
-	u, err := d.BuildUniverse(s.Lambda)
-	if err != nil {
-		return nil, BuildInfo{}, err
-	}
-	inst, err := Market(u, market.Config{Alpha: s.Alpha, P: s.P}, *s.Gamma,
+
+	cu, stats := coverage.Compress(u)
+	inst, err := Market(cu, market.Config{Alpha: s.Alpha, P: s.P}, *s.Gamma,
 		rng.New(s.Seed).Derive("market"))
 	if err != nil {
 		return nil, BuildInfo{}, err
 	}
 	info := BuildInfo{
-		City:         d.Config.City.String(),
-		Trajectories: u.NumTrajectories(),
-		Billboards:   u.NumBillboards(),
-		Advertisers:  inst.NumAdvertisers(),
-		BuildMS:      float64(time.Since(start).Microseconds()) / 1e3,
+		City:             city,
+		Trajectories:     cu.NumTrajectories(),
+		Billboards:       cu.NumBillboards(),
+		Advertisers:      inst.NumAdvertisers(),
+		Corridors:        stats.Corridors,
+		CompressionRatio: stats.Ratio,
+		BuildMS:          float64(time.Since(start).Microseconds()) / 1e3,
 	}
 	return inst, info, nil
 }

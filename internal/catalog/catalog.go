@@ -122,12 +122,19 @@ func (c *Catalog) AddInstance(name string, inst *core.Instance) (*Entry, error) 
 	if inst == nil {
 		return nil, errors.New("catalog: nil instance")
 	}
+	u := inst.Universe()
+	ratio := 1.0
+	if u.NumIDs() > 0 {
+		ratio = float64(u.NumTrajectories()) / float64(u.NumIDs())
+	}
 	e := &Entry{
 		Name: name,
 		Info: BuildInfo{
-			Trajectories: inst.Universe().NumTrajectories(),
-			Billboards:   inst.Universe().NumBillboards(),
-			Advertisers:  inst.NumAdvertisers(),
+			Trajectories:     u.NumTrajectories(),
+			Billboards:       u.NumBillboards(),
+			Advertisers:      inst.NumAdvertisers(),
+			Corridors:        u.NumIDs(),
+			CompressionRatio: ratio,
 		},
 		Instance: inst,
 	}

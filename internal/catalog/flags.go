@@ -32,6 +32,7 @@ type Flags struct {
 	base   Spec
 
 	city, data *string
+	tier       *string
 	scale      *float64
 	seed       *uint64
 	alpha      *float64
@@ -50,7 +51,8 @@ func Bind(fs *flag.FlagSet, fields Fields, defaults Spec) *Flags {
 	f := &Flags{fields: fields, base: defaults}
 	if fields&FieldDataset != 0 {
 		f.city = fs.String("city", defaults.City, "city (NYC or SG); ignored when -data is set")
-		f.scale = fs.Float64("scale", defaults.Scale, "fraction of the default dataset scale")
+		f.tier = fs.String("tier", defaults.Tier, `dataset size class: "" (default) or "scale" (paper-scale, streamed)`)
+		f.scale = fs.Float64("scale", defaults.Scale, "fraction of the tier's base dataset scale")
 		f.seed = fs.Uint64("seed", defaults.Seed, "seed for dataset, market and search")
 	}
 	if fields&FieldData != 0 {
@@ -72,7 +74,7 @@ func Bind(fs *flag.FlagSet, fields Fields, defaults Spec) *Flags {
 func (f *Flags) Spec() Spec {
 	s := f.base
 	if f.city != nil {
-		s.City, s.Scale, s.Seed = *f.city, *f.scale, *f.seed
+		s.City, s.Tier, s.Scale, s.Seed = *f.city, *f.tier, *f.scale, *f.seed
 	}
 	if f.data != nil {
 		s.Data = *f.data

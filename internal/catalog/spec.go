@@ -34,6 +34,9 @@ const (
 	// DefaultScale is the dataset scale fraction applied when a Spec
 	// leaves Scale unset.
 	DefaultScale = 0.25
+	// TierScale is the Spec.Tier value selecting paper-scale streaming
+	// generation.
+	TierScale = "scale"
 )
 
 // Spec declaratively describes one MROAM instance. The zero value of every
@@ -51,9 +54,18 @@ type Spec struct {
 	// Data is a saved dataset directory (written by `mroam gen`) to load
 	// instead of generating; it overrides City/Scale.
 	Data string `json:"data,omitempty"`
-	// Scale is the fraction of the default dataset scale. Zero selects
-	// DefaultScale.
+	// Scale is the fraction of the tier's base dataset scale. Zero selects
+	// DefaultScale ("" tier) or 1.0 ("scale" tier).
 	Scale float64 `json:"scale,omitempty"`
+	// Tier selects the dataset size class. Empty is the default tier:
+	// materialized generation at DefaultScale of the ~40-55k-trajectory
+	// synthetic defaults. TierScale selects the paper-scale configuration
+	// (Table 5: |T| = 1.7M NYC / 2.2M SG) built with streaming generation —
+	// trajectories are never materialized, so Data cannot be combined with
+	// it and `mroam gen` cannot save it. Scale then multiplies the
+	// trajectory count only; the billboard inventory stays at the paper's
+	// (1462 NYC / 4092 SG).
+	Tier string `json:"tier,omitempty"`
 	// Seed drives dataset generation, market generation and (by CLI
 	// convention) the solvers. Zero is a valid seed and is kept.
 	Seed uint64 `json:"seed,omitempty"`
@@ -95,7 +107,11 @@ func (s Spec) Normalized() Spec {
 		s.City = DefaultCity
 	}
 	if s.Scale <= 0 && s.Data == "" {
-		s.Scale = DefaultScale
+		if s.Tier == TierScale {
+			s.Scale = 1.0
+		} else {
+			s.Scale = DefaultScale
+		}
 	}
 	if s.Alpha == 0 {
 		s.Alpha = market.DefaultAlpha
@@ -133,6 +149,14 @@ func (s Spec) Validate() error {
 		if err := ValidateName(s.Name); err != nil {
 			return err
 		}
+	}
+	switch s.Tier {
+	case "", TierScale:
+	default:
+		return fmt.Errorf("catalog: unknown tier %q (want empty or %q)", s.Tier, TierScale)
+	}
+	if s.Tier == TierScale && s.Data != "" {
+		return fmt.Errorf("catalog: tier %q generates by streaming and cannot load -data directories", TierScale)
 	}
 	if s.Data == "" {
 		switch strings.ToUpper(s.City) {

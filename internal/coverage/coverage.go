@@ -18,19 +18,24 @@ package coverage
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/bitset"
 )
 
-// List is the set of trajectory IDs covered by one billboard, sorted
-// ascending with no duplicates.
+// List is the set of coverage IDs covered by one billboard, sorted
+// ascending with no duplicates. In an uncompressed universe the IDs are
+// trajectory IDs; in a corridor-compressed universe (see Compress) they are
+// corridor IDs.
 type List []int32
 
 // NewList sorts and deduplicates ids into a valid List. The input slice may
-// be reused as backing storage.
+// be reused as backing storage. (slices.Sort, not sort.Slice: the radix-ish
+// pdqsort specialization for ordered element types avoids the interface
+// indirection per comparison — this is the hottest sort in dataset builds.)
 func NewList(ids []int32) List {
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	out := ids[:0]
 	for i, id := range ids {
 		if i == 0 || id != ids[i-1] {
@@ -49,10 +54,22 @@ func (l List) Contains(id int32) bool {
 // Universe holds the coverage lists of every billboard in a dataset together
 // with the trajectory count. It is immutable after construction and shared by
 // all Counters, algorithms and experiments that operate on the dataset.
+//
+// A universe may be corridor-compressed (see Compress): coverage IDs then
+// name corridors — groups of trajectories with identical coverage — and
+// weights[id] counts the trajectories collapsed into each. Every influence
+// quantity (Degree, MaxDegree, TotalSupply, UnionCount, Counter results) is
+// expressed in raw trajectories in both forms, so algorithms never need to
+// know which substrate they run on: the weighted sums are bit-identical to
+// the uncompressed answers by construction.
 type Universe struct {
-	numTrajectories int
+	numTrajectories int // raw trajectory total |T|, the paper's universe size
+	numIDs          int // coverage ID space; == numTrajectories when unweighted
 	lists           []List
+	weights         []int32 // weights[id] ≥ 1, raw trajectories per ID; nil = all 1
+	degrees         []int   // weighted Degree per billboard; nil = len(lists[b])
 	maxDegree       int
+	totalSupply     int64
 }
 
 // NewUniverse constructs a Universe over numTrajectories trajectories with
@@ -62,23 +79,76 @@ func NewUniverse(numTrajectories int, lists []List) (*Universe, error) {
 	if numTrajectories < 0 {
 		return nil, fmt.Errorf("coverage: negative trajectory count %d", numTrajectories)
 	}
+	if err := validateLists(lists, numTrajectories); err != nil {
+		return nil, err
+	}
+	u := &Universe{numTrajectories: numTrajectories, numIDs: numTrajectories, lists: lists}
+	for _, l := range lists {
+		if len(l) > u.maxDegree {
+			u.maxDegree = len(l)
+		}
+		u.totalSupply += int64(len(l))
+	}
+	return u, nil
+}
+
+// NewWeightedUniverse constructs a corridor-compressed Universe: lists hold
+// corridor IDs in [0, len(weights)), and weights[id] is the number of raw
+// trajectories collapsed into corridor id. numTrajectories remains the raw
+// total (corridor weights need not sum to it — trajectories covered by no
+// billboard have no corridor). Influence accessors return weighted values.
+func NewWeightedUniverse(numTrajectories int, lists []List, weights []int32) (*Universe, error) {
+	if numTrajectories < 0 {
+		return nil, fmt.Errorf("coverage: negative trajectory count %d", numTrajectories)
+	}
+	if err := validateLists(lists, len(weights)); err != nil {
+		return nil, err
+	}
+	var sum int64
+	for id, w := range weights {
+		if w < 1 {
+			return nil, fmt.Errorf("coverage: corridor %d has weight %d < 1", id, w)
+		}
+		sum += int64(w)
+	}
+	if sum > int64(numTrajectories) {
+		return nil, fmt.Errorf("coverage: corridor weights sum to %d, universe has %d trajectories", sum, numTrajectories)
+	}
+	u := &Universe{
+		numTrajectories: numTrajectories,
+		numIDs:          len(weights),
+		lists:           lists,
+		weights:         weights,
+		degrees:         make([]int, len(lists)),
+	}
+	for b, l := range lists {
+		d := 0
+		for _, id := range l {
+			d += int(weights[id])
+		}
+		u.degrees[b] = d
+		if d > u.maxDegree {
+			u.maxDegree = d
+		}
+		u.totalSupply += int64(d)
+	}
+	return u, nil
+}
+
+// validateLists checks every list is sorted, duplicate-free, and references
+// IDs inside [0, numIDs).
+func validateLists(lists []List, numIDs int) error {
 	for b, l := range lists {
 		for i, id := range l {
-			if id < 0 || int(id) >= numTrajectories {
-				return nil, fmt.Errorf("coverage: billboard %d covers trajectory %d, universe has %d", b, id, numTrajectories)
+			if id < 0 || int(id) >= numIDs {
+				return fmt.Errorf("coverage: billboard %d covers ID %d, universe has %d", b, id, numIDs)
 			}
 			if i > 0 && l[i-1] >= id {
-				return nil, fmt.Errorf("coverage: billboard %d list unsorted or duplicated at index %d", b, i)
+				return fmt.Errorf("coverage: billboard %d list unsorted or duplicated at index %d", b, i)
 			}
 		}
 	}
-	maxDeg := 0
-	for _, l := range lists {
-		if len(l) > maxDeg {
-			maxDeg = len(l)
-		}
-	}
-	return &Universe{numTrajectories: numTrajectories, lists: lists, maxDegree: maxDeg}, nil
+	return nil
 }
 
 // MustUniverse is NewUniverse that panics on error, for tests and generators
@@ -91,8 +161,26 @@ func MustUniverse(numTrajectories int, lists []List) *Universe {
 	return u
 }
 
-// NumTrajectories returns the number of trajectories in the universe.
+// NumTrajectories returns the number of raw trajectories in the universe —
+// the paper's |T|. Corridor compression never changes this value.
 func (u *Universe) NumTrajectories() int { return u.numTrajectories }
+
+// NumIDs returns the size of the coverage ID space: the value to size
+// per-ID scratch arrays and bitsets by. It equals NumTrajectories for an
+// uncompressed universe and the corridor count for a compressed one.
+func (u *Universe) NumIDs() int { return u.numIDs }
+
+// Weighted reports whether the universe is corridor-compressed.
+func (u *Universe) Weighted() bool { return u.weights != nil }
+
+// Weight returns the number of raw trajectories behind coverage ID id
+// (1 for every ID of an uncompressed universe).
+func (u *Universe) Weight(id int32) int {
+	if u.weights == nil {
+		return 1
+	}
+	return int(u.weights[id])
+}
 
 // NumBillboards returns the number of billboards in the universe.
 func (u *Universe) NumBillboards() int { return len(u.lists) }
@@ -101,9 +189,14 @@ func (u *Universe) NumBillboards() int { return len(u.lists) }
 // be modified.
 func (u *Universe) List(b int) List { return u.lists[b] }
 
-// Degree returns |cover(b)|, the number of trajectories billboard b covers.
-// This is I({b}), the influence of the single billboard.
-func (u *Universe) Degree(b int) int { return len(u.lists[b]) }
+// Degree returns |cover(b)| in raw trajectories — I({b}), the influence of
+// the single billboard — regardless of substrate.
+func (u *Universe) Degree(b int) int {
+	if u.degrees == nil {
+		return len(u.lists[b])
+	}
+	return u.degrees[b]
+}
 
 // MaxDegree returns the largest single-billboard influence max_o I({o}),
 // precomputed at construction. The lazy-greedy selection uses it to decide
@@ -113,33 +206,60 @@ func (u *Universe) MaxDegree() int { return u.maxDegree }
 // TotalSupply returns I* = Σ_o I({o}), the host's supply as defined for the
 // demand-supply ratio α (§7.1.3). Note this sums individual influences and
 // intentionally double-counts overlap, exactly as the paper defines I*.
-func (u *Universe) TotalSupply() int64 {
-	var total int64
-	for _, l := range u.lists {
-		total += int64(len(l))
+func (u *Universe) TotalSupply() int64 { return u.totalSupply }
+
+// UnionCount returns I(S) = |⋃_{b∈S} cover(b)| in raw trajectories,
+// computed from scratch. Counters are faster for incremental work; this is
+// the reference evaluator and the right tool for one-shot queries. The
+// union is taken in the compressed substrate (roaring-style containers), so
+// the scratch cost scales with the IDs actually covered, not the ID space.
+func (u *Universe) UnionCount(billboards []int) int {
+	un := u.UnionCompressed(billboards)
+	if u.weights == nil {
+		return un.Count()
 	}
+	total := 0
+	un.Range(func(id int) bool {
+		total += int(u.weights[id])
+		return true
+	})
 	return total
 }
 
-// UnionCount returns I(S) = |⋃_{b∈S} cover(b)| computed from scratch with a
-// bitset. Counters are faster for incremental work; this is the reference
-// evaluator and the right tool for one-shot queries.
-func (u *Universe) UnionCount(billboards []int) int {
-	bs := bitset.New(u.numTrajectories)
+// UnionCompressed returns the union coverage of the given billboards as a
+// compressed set over the universe's ID space.
+func (u *Universe) UnionCompressed(billboards []int) *bitset.Compressed {
+	un := bitset.NewCompressed()
 	for _, b := range billboards {
-		bs.SetIDs(u.lists[b])
+		un.Or(bitset.FromSortedIDs(u.lists[b]))
 	}
-	return bs.Count()
+	return un
 }
 
-// UnionBitset returns the union coverage of the given billboards as a bitset
-// sized to the universe.
+// UnionBitset returns the union coverage of the given billboards as a dense
+// bitset sized to the universe's ID space. Use WeightSum to convert a set of
+// coverage IDs into raw trajectories.
 func (u *Universe) UnionBitset(billboards []int) *bitset.Set {
-	bs := bitset.New(u.numTrajectories)
+	bs := bitset.New(u.numIDs)
 	for _, b := range billboards {
 		bs.SetIDs(u.lists[b])
 	}
 	return bs
+}
+
+// WeightSum returns the raw-trajectory total behind the set bits of bs,
+// which must be sized to the universe's ID space. For an uncompressed
+// universe this is bs.Count().
+func (u *Universe) WeightSum(bs *bitset.Set) int {
+	if u.weights == nil {
+		return bs.Count()
+	}
+	total := 0
+	bs.Range(func(id int) bool {
+		total += int(u.weights[id])
+		return true
+	})
+	return total
 }
 
 // Counter incrementally tracks I(S) for one mutable billboard set S. Adding
@@ -155,8 +275,9 @@ func (u *Universe) UnionBitset(billboards []int) *bitset.Set {
 type Counter struct {
 	u       *Universe
 	k       int32   // impression threshold; 1 = plain union coverage
-	counts  []int32 // counts[t] = #{b ∈ S : b covers t}
-	covered int     // #{t : counts[t] >= k}; this is I_k(S)
+	counts  []int32 // counts[id] = #{b ∈ S : b covers id}
+	w       []int32 // the universe's corridor weights; nil when unweighted
+	covered int     // Σ_{id : counts[id] >= k} weight(id); this is I_k(S)
 	member  []bool  // member[b] = b ∈ S
 	size    int     // |S|
 }
@@ -169,6 +290,11 @@ func NewCounter(u *Universe) *Counter {
 
 // NewCounterWithThreshold returns an empty Counter requiring k impressions
 // before a trajectory counts as influenced. It panics if k < 1.
+//
+// On a corridor-compressed universe the threshold applies per corridor,
+// which is exactly the per-trajectory semantics: every trajectory in a
+// corridor is covered by the same billboards, so their impression counts
+// are equal at all times.
 func NewCounterWithThreshold(u *Universe, k int) *Counter {
 	if k < 1 {
 		panic(fmt.Sprintf("coverage: impression threshold %d < 1", k))
@@ -176,7 +302,8 @@ func NewCounterWithThreshold(u *Universe, k int) *Counter {
 	return &Counter{
 		u:      u,
 		k:      int32(k),
-		counts: make([]int32, u.numTrajectories),
+		counts: make([]int32, u.numIDs),
+		w:      u.weights,
 		member: make([]bool, len(u.lists)),
 	}
 }
@@ -206,16 +333,30 @@ func (c *Counter) Members(dst []int) []int {
 }
 
 // Add inserts billboard b into the set. It panics if b is already a member.
+//
+// The unweighted loop is kept separate from the weighted one (here and in
+// Remove/Gain/Loss/SwapDelta): these are the innermost solver loops, and a
+// per-element weight lookup on the unit-weight substrate would cost a load
+// and branch per covered ID for nothing.
 func (c *Counter) Add(b int) {
 	if c.member[b] {
 		panic(fmt.Sprintf("coverage: Add(%d): already a member", b))
 	}
 	c.member[b] = true
 	c.size++
+	if c.w == nil {
+		for _, t := range c.u.lists[b] {
+			c.counts[t]++
+			if c.counts[t] == c.k {
+				c.covered++
+			}
+		}
+		return
+	}
 	for _, t := range c.u.lists[b] {
 		c.counts[t]++
 		if c.counts[t] == c.k {
-			c.covered++
+			c.covered += int(c.w[t])
 		}
 	}
 }
@@ -227,9 +368,18 @@ func (c *Counter) Remove(b int) {
 	}
 	c.member[b] = false
 	c.size--
+	if c.w == nil {
+		for _, t := range c.u.lists[b] {
+			if c.counts[t] == c.k {
+				c.covered--
+			}
+			c.counts[t]--
+		}
+		return
+	}
 	for _, t := range c.u.lists[b] {
 		if c.counts[t] == c.k {
-			c.covered--
+			c.covered -= int(c.w[t])
 		}
 		c.counts[t]--
 	}
@@ -243,9 +393,17 @@ func (c *Counter) Gain(b int) int {
 		panic(fmt.Sprintf("coverage: Gain(%d): already a member", b))
 	}
 	gain := 0
+	if c.w == nil {
+		for _, t := range c.u.lists[b] {
+			if c.counts[t] == c.k-1 {
+				gain++
+			}
+		}
+		return gain
+	}
 	for _, t := range c.u.lists[b] {
 		if c.counts[t] == c.k-1 {
-			gain++
+			gain += int(c.w[t])
 		}
 	}
 	return gain
@@ -258,9 +416,17 @@ func (c *Counter) Loss(b int) int {
 		panic(fmt.Sprintf("coverage: Loss(%d): not a member", b))
 	}
 	loss := 0
+	if c.w == nil {
+		for _, t := range c.u.lists[b] {
+			if c.counts[t] == c.k {
+				loss++
+			}
+		}
+		return loss
+	}
 	for _, t := range c.u.lists[b] {
 		if c.counts[t] == c.k {
-			loss++
+			loss += int(c.w[t])
 		}
 	}
 	return loss
@@ -269,8 +435,8 @@ func (c *Counter) Loss(b int) int {
 // SwapDelta returns I((S \ {out}) ∪ {in}) − I(S) without mutating the set.
 // out must be a member and in must not be. The two sorted coverage lists
 // are walked in a single linear merge, so the cost is
-// O(deg(out) + deg(in)) — trajectories covered by both billboards keep
-// their impression count and are skipped.
+// O(deg(out) + deg(in)) — IDs covered by both billboards keep their
+// impression count and are skipped.
 func (c *Counter) SwapDelta(out, in int) int {
 	if !c.member[out] {
 		panic(fmt.Sprintf("coverage: SwapDelta(out=%d): not a member", out))
@@ -286,14 +452,14 @@ func (c *Counter) SwapDelta(out, in int) int {
 		switch {
 		case j == len(inList) || (i < len(outList) && outList[i] < inList[j]):
 			// Covered by out only: loses an impression.
-			if c.counts[outList[i]] == c.k {
-				delta--
+			if t := outList[i]; c.counts[t] == c.k {
+				delta -= c.weight(t)
 			}
 			i++
 		case i == len(outList) || inList[j] < outList[i]:
 			// Covered by in only: gains an impression.
-			if c.counts[inList[j]] == c.k-1 {
-				delta++
+			if t := inList[j]; c.counts[t] == c.k-1 {
+				delta += c.weight(t)
 			}
 			j++
 		default:
@@ -303,6 +469,14 @@ func (c *Counter) SwapDelta(out, in int) int {
 		}
 	}
 	return delta
+}
+
+// weight returns the raw trajectories behind coverage ID t.
+func (c *Counter) weight(t int32) int {
+	if c.w == nil {
+		return 1
+	}
+	return int(c.w[t])
 }
 
 // Reset empties the set in O(Σ deg(member)).
@@ -337,6 +511,7 @@ func (c *Counter) Clone() *Counter {
 		u:       c.u,
 		k:       c.k,
 		counts:  make([]int32, len(c.counts)),
+		w:       c.w,
 		covered: c.covered,
 		member:  make([]bool, len(c.member)),
 		size:    c.size,

@@ -453,3 +453,27 @@ func BenchmarkSwapDelta(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkNewList measures the coverage-list constructor on the
+// mostly-sorted input the spatial join produces (trajectory IDs arrive in
+// generation order with local back-references). slices.Sort's pdqsort
+// exploits that structure where the old sort.Slice interface path could
+// not; see the recorded comparison in DESIGN.md §12.
+func BenchmarkNewList(b *testing.B) {
+	r := rng.New(1)
+	ids := make([]int32, 4096)
+	for i := range ids {
+		// Nearly sorted with occasional displaced entries and duplicates,
+		// like a billboard's hits across generation-ordered chunks.
+		ids[i] = int32(i) + int32(r.Intn(8)) - 4
+		if ids[i] < 0 {
+			ids[i] = 0
+		}
+	}
+	scratch := make([]int32, len(ids))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(scratch, ids)
+		_ = NewList(scratch)
+	}
+}

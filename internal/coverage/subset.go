@@ -14,6 +14,15 @@ import "fmt"
 func (u *Universe) Subuniverse(keep []int) (*Universe, error) {
 	lists := make([]List, len(keep))
 	seen := make(map[int]bool, len(keep))
+	sub := &Universe{
+		numTrajectories: u.numTrajectories,
+		numIDs:          u.numIDs,
+		lists:           lists,
+		weights:         u.weights,
+	}
+	if u.degrees != nil {
+		sub.degrees = make([]int, len(keep))
+	}
 	for i, b := range keep {
 		if b < 0 || b >= len(u.lists) {
 			return nil, fmt.Errorf("coverage: keep[%d] = %d out of range [0, %d)", i, b, len(u.lists))
@@ -23,6 +32,14 @@ func (u *Universe) Subuniverse(keep []int) (*Universe, error) {
 		}
 		seen[b] = true
 		lists[i] = u.lists[b]
+		d := u.Degree(b)
+		if sub.degrees != nil {
+			sub.degrees[i] = d
+		}
+		if d > sub.maxDegree {
+			sub.maxDegree = d
+		}
+		sub.totalSupply += int64(d)
 	}
-	return &Universe{numTrajectories: u.numTrajectories, lists: lists}, nil
+	return sub, nil
 }

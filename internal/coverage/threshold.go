@@ -11,13 +11,13 @@ func (u *Universe) UnionCountK(billboards []int, k int) int {
 	if k < 1 {
 		panic(fmt.Sprintf("coverage: impression threshold %d < 1", k))
 	}
-	counts := make([]int32, u.numTrajectories)
+	counts := make([]int32, u.numIDs)
 	covered := 0
 	for _, b := range billboards {
 		for _, t := range u.lists[b] {
 			counts[t]++
 			if counts[t] == int32(k) {
-				covered++
+				covered += u.Weight(t)
 			}
 		}
 	}

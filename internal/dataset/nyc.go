@@ -161,8 +161,16 @@ func generateNYC(c Config, r *rng.RNG) (*Dataset, error) {
 		return nil, err
 	}
 
+	bills := genNYCBillboards(c, grid, r.Derive("billboards"))
+	return &Dataset{Config: c, Trajectories: tdb, Billboards: billboard.NewDB(bills)}, nil
+}
+
+// genNYCBillboards places the billboard inventory on the grid. It is shared
+// by the materializing generator above and the streaming paper-scale build
+// (stream.go); both derive bbRNG from the same "billboards" substream, so
+// inventories are identical between the two paths.
+func genNYCBillboards(c Config, grid *nycGrid, bbRNG *rng.RNG) []billboard.Billboard {
 	bills := make([]billboard.Billboard, 0, c.Billboards)
-	bbRNG := r.Derive("billboards")
 	for i := 0; i < c.Billboards; i++ {
 		// Mixed placement: 55% of the inventory chases the popular
 		// corridors (LAMAR-style premium boards with huge audiences and
@@ -186,7 +194,7 @@ func generateNYC(c Config, r *rng.RNG) (*Dataset, error) {
 		}
 		bills = append(bills, billboard.Billboard{Loc: loc})
 	}
-	return &Dataset{Config: c, Trajectories: tdb, Billboards: billboard.NewDB(bills)}, nil
+	return bills
 }
 
 // genNYCTrip samples one L-shaped grid trip:

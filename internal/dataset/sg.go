@@ -30,24 +30,7 @@ type sgRoute struct {
 
 // generateSG builds the bus dataset.
 func generateSG(c Config, r *rng.RNG) (*Dataset, error) {
-	routeRNG := r.Derive("routes")
-	routes := make([]sgRoute, c.Routes)
-	var bills []billboard.Billboard
-	for i := range routes {
-		routes[i] = genSGRoute(c, routeRNG)
-		routes[i].firstBB = len(bills)
-		for _, stop := range routes[i].stops {
-			bills = append(bills, billboard.Billboard{Loc: stop})
-		}
-	}
-
-	weights := zipfWeights(r.Derive("ridership"), c.Routes, c.RouteSkew)
-	cdf := make([]float64, len(weights))
-	sum := 0.0
-	for i, w := range weights {
-		sum += w
-		cdf[i] = sum
-	}
+	routes, bills, cdf := genSGNetwork(c, r)
 
 	tripRNG := r.Derive("trips")
 	trips := make([]trajectory.Trajectory, 0, c.Trajectories)
@@ -60,6 +43,33 @@ func generateSG(c Config, r *rng.RNG) (*Dataset, error) {
 		return nil, err
 	}
 	return &Dataset{Config: c, Trajectories: tdb, Billboards: billboard.NewDB(bills)}, nil
+}
+
+// genSGNetwork generates the fixed infrastructure of the bus city: the
+// routes, the billboard inventory (one per stop, laid out route-major), and
+// the ridership CDF trips are drawn from. It is shared by the materializing
+// generator above and the streaming paper-scale build (stream.go); both use
+// the same "routes"/"ridership" substreams, so networks are identical
+// between the two paths.
+func genSGNetwork(c Config, r *rng.RNG) (routes []sgRoute, bills []billboard.Billboard, cdf []float64) {
+	routeRNG := r.Derive("routes")
+	routes = make([]sgRoute, c.Routes)
+	for i := range routes {
+		routes[i] = genSGRoute(c, routeRNG)
+		routes[i].firstBB = len(bills)
+		for _, stop := range routes[i].stops {
+			bills = append(bills, billboard.Billboard{Loc: stop})
+		}
+	}
+
+	weights := zipfWeights(r.Derive("ridership"), c.Routes, c.RouteSkew)
+	cdf = make([]float64, len(weights))
+	sum := 0.0
+	for i, w := range weights {
+		sum += w
+		cdf[i] = sum
+	}
+	return routes, bills, cdf
 }
 
 // genSGRoute walks StopsPerRoute stops with direction persistence, staying

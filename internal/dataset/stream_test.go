@@ -1,0 +1,98 @@
+package dataset
+
+import (
+	"math"
+	"slices"
+	"testing"
+)
+
+// TestStreamedBuildMatchesMaterialized is the streaming path's correctness
+// anchor: for both cities, GenerateUniverse must produce bit-identical
+// coverage lists, billboard inventory (locations and costs), and Table-5
+// statistics to the materializing Generate + BuildUniverse pipeline. The
+// chunk size is deliberately odd and smaller than |T| so chunk boundaries
+// fall mid-stream.
+func TestStreamedBuildMatchesMaterialized(t *testing.T) {
+	const lambda = 100
+	for _, cfg := range []Config{DefaultNYC(11).Scale(0.05), DefaultSG(12).Scale(0.05)} {
+		t.Run(cfg.City.String(), func(t *testing.T) {
+			d, err := Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := d.BuildUniverse(lambda)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := GenerateUniverse(cfg, StreamOptions{Lambda: lambda, ChunkSize: 257})
+			if err != nil {
+				t.Fatal(err)
+			}
+			u := got.Universe
+			if u.NumTrajectories() != want.NumTrajectories() || u.NumBillboards() != want.NumBillboards() {
+				t.Fatalf("dims %d/%d, want %d/%d",
+					u.NumTrajectories(), u.NumBillboards(), want.NumTrajectories(), want.NumBillboards())
+			}
+			for b := 0; b < want.NumBillboards(); b++ {
+				if !slices.Equal(u.List(b), want.List(b)) {
+					t.Fatalf("billboard %d coverage differs: %d IDs streamed, %d materialized",
+						b, len(u.List(b)), len(want.List(b)))
+				}
+			}
+			if got.Billboards.Len() != d.Billboards.Len() {
+				t.Fatalf("billboard counts differ")
+			}
+			for b := 0; b < d.Billboards.Len(); b++ {
+				sb, mb := got.Billboards.At(b), d.Billboards.At(b)
+				if sb.Loc != mb.Loc || sb.Cost != mb.Cost {
+					t.Fatalf("billboard %d: streamed %+v/%d, materialized %+v/%d",
+						b, sb.Loc, sb.Cost, mb.Loc, mb.Cost)
+				}
+			}
+			wantStats := d.Trajectories.ComputeStats()
+			if got.Stats.Count != wantStats.Count || got.Stats.TotalPoints != wantStats.TotalPoints {
+				t.Fatalf("stats counts: %+v, want %+v", got.Stats, wantStats)
+			}
+			// The averages accumulate in a different order; allow float
+			// round-off only.
+			if math.Abs(got.Stats.AvgDistanceM-wantStats.AvgDistanceM) > 1e-6 ||
+				math.Abs(got.Stats.AvgTravelTime-wantStats.AvgTravelTime) > 1e-6 {
+				t.Fatalf("stats averages: %+v, want %+v", got.Stats, wantStats)
+			}
+			if got.Table5() != d.Table5() {
+				// Table5 divides the same sums; exact equality can fail only
+				// on the float fields checked above, so compare loosely.
+				gr, wr := got.Table5(), d.Table5()
+				if gr.Name != wr.Name || gr.NumTraj != wr.NumTraj || gr.NumBillboards != wr.NumBillboards {
+					t.Fatalf("Table5: %+v, want %+v", gr, wr)
+				}
+			}
+		})
+	}
+}
+
+func TestGenerateUniverseValidation(t *testing.T) {
+	if _, err := GenerateUniverse(Config{}, StreamOptions{Lambda: 100}); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := GenerateUniverse(DefaultNYC(1).Scale(0.01), StreamOptions{}); err == nil {
+		t.Error("zero lambda accepted")
+	}
+}
+
+func TestPaperConfigsMatchTable5Dimensions(t *testing.T) {
+	nyc := PaperNYC(42)
+	if nyc.Trajectories != 1_700_000 || nyc.Billboards != 1462 {
+		t.Fatalf("PaperNYC dims %d/%d", nyc.Trajectories, nyc.Billboards)
+	}
+	if err := nyc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sg := PaperSG(42)
+	if sg.Trajectories != 2_200_000 || sg.Routes*sg.StopsPerRoute != 4092 {
+		t.Fatalf("PaperSG dims %d/%d", sg.Trajectories, sg.Routes*sg.StopsPerRoute)
+	}
+	if err := sg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

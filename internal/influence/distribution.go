@@ -54,7 +54,7 @@ func ImpressionCurve(u *coverage.Universe, fractions []float64) []float64 {
 	}
 	sort.Slice(idx, func(a, b int) bool { return fractions[idx[a]] < fractions[idx[b]] })
 
-	bs := bitset.New(u.NumTrajectories())
+	bs := bitset.New(u.NumIDs())
 	taken := 0
 	total := float64(u.NumTrajectories())
 	for _, fi := range idx {
@@ -66,7 +66,7 @@ func ImpressionCurve(u *coverage.Universe, fractions []float64) []float64 {
 			bs.SetIDs(u.List(order[taken]))
 			taken++
 		}
-		out[fi] = float64(bs.Count()) / total
+		out[fi] = float64(u.WeightSum(bs)) / total
 	}
 	return out
 }

@@ -291,11 +291,21 @@ func TestStatsPerInstance(t *testing.T) {
 	resp.Body.Close()
 
 	entryA, _ := cat.Get("a")
+	// Catalog-built instances are served on the corridor-compressed
+	// substrate; /stats must surface the corridor count and ratio.
+	if entryA.Info.Corridors <= 0 || entryA.Info.Corridors > entryA.Info.Trajectories {
+		t.Errorf("corridors %d outside (0, %d]", entryA.Info.Corridors, entryA.Info.Trajectories)
+	}
+	if entryA.Info.CompressionRatio < 1 {
+		t.Errorf("compression ratio %v < 1", entryA.Info.CompressionRatio)
+	}
 	want := fmt.Sprintf("%v", []InstanceCount{
 		{Instance: "a", Generation: entryA.Generation,
-			Billboards: entryA.Info.Billboards, Advertisers: entryA.Info.Advertisers, Requests: 2},
+			Billboards: entryA.Info.Billboards, Advertisers: entryA.Info.Advertisers,
+			Corridors: entryA.Info.Corridors, CompressionRatio: entryA.Info.CompressionRatio, Requests: 2},
 		{Instance: "b", Generation: 2,
-			Billboards: stats.PerInstance[1].Billboards, Advertisers: stats.PerInstance[1].Advertisers, Requests: 1},
+			Billboards: stats.PerInstance[1].Billboards, Advertisers: stats.PerInstance[1].Advertisers,
+			Corridors: stats.PerInstance[1].Corridors, CompressionRatio: stats.PerInstance[1].CompressionRatio, Requests: 1},
 	})
 	if got := fmt.Sprintf("%v", stats.PerInstance); got != want {
 		t.Errorf("per_instance %s, want %s", got, want)

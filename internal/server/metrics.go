@@ -129,13 +129,17 @@ type AlgoCount struct {
 }
 
 // InstanceCount is one loaded instance's identity, dimensions and request
-// total in a Stats snapshot.
+// total in a Stats snapshot. Corridors/CompressionRatio describe the
+// corridor-compressed coverage substrate the instance is served on (see
+// coverage.Compress).
 type InstanceCount struct {
-	Instance    string `json:"instance"`
-	Generation  uint64 `json:"generation"`
-	Billboards  int    `json:"billboards"`
-	Advertisers int    `json:"advertisers"`
-	Requests    int64  `json:"requests"`
+	Instance         string  `json:"instance"`
+	Generation       uint64  `json:"generation"`
+	Billboards       int     `json:"billboards"`
+	Advertisers      int     `json:"advertisers"`
+	Corridors        int     `json:"corridors"`
+	CompressionRatio float64 `json:"compression_ratio"`
+	Requests         int64   `json:"requests"`
 }
 
 // Stats is the JSON document served on GET /stats. Its shape predates the
@@ -185,11 +189,13 @@ func (m *metrics) snapshot() Stats {
 	m.instanceReqs.Each(func(values []string, n int64) { counts[values[0]] = n })
 	for _, e := range m.cat.List() { // List is sorted by name
 		s.PerInstance = append(s.PerInstance, InstanceCount{
-			Instance:    e.Name,
-			Generation:  e.Generation,
-			Billboards:  e.Info.Billboards,
-			Advertisers: e.Info.Advertisers,
-			Requests:    counts[e.Name],
+			Instance:         e.Name,
+			Generation:       e.Generation,
+			Billboards:       e.Info.Billboards,
+			Advertisers:      e.Info.Advertisers,
+			Corridors:        e.Info.Corridors,
+			CompressionRatio: e.Info.CompressionRatio,
+			Requests:         counts[e.Name],
 		})
 	}
 	return s

@@ -552,6 +552,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		body["default"] = e.Name
 		body["billboards"] = e.Instance.Universe().NumBillboards()
 		body["advertisers"] = e.Instance.NumAdvertisers()
+		body["corridors"] = e.Info.Corridors
+		body["compression_ratio"] = e.Info.CompressionRatio
 	}
 	writeJSON(w, http.StatusOK, body)
 }

@@ -266,6 +266,15 @@ func TestHealthz(t *testing.T) {
 	if body["status"] != "ok" {
 		t.Errorf("status field %v", body["status"])
 	}
+	// The probe reports the default instance's corridor-compressed coverage
+	// substrate. testInstance registers a dense (uncompressed) universe, so
+	// corridors == |T| and the ratio is exactly 1.
+	if c, ok := body["corridors"].(float64); !ok || c != 50 {
+		t.Errorf("corridors %v, want 50", body["corridors"])
+	}
+	if r, ok := body["compression_ratio"].(float64); !ok || r != 1.0 {
+		t.Errorf("compression_ratio %v, want 1", body["compression_ratio"])
+	}
 }
 
 // gatedConfig returns a Config whose solves block until the returned
