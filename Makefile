@@ -2,15 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet fmt lint bench bench-json scale-smoke repro examples clean check fuzz-smoke trace-demo catalog-demo cache-demo
+.PHONY: all build test test-race vet fmt lint bench bench-json bench-serving scale-smoke repro examples clean check fuzz-smoke trace-demo catalog-demo cache-demo load-smoke
 
 all: build test
 
 # The full pre-merge gate: build, lint (format + vet), the race-detector
 # suite, a short smoke run of every fuzz target, the serving demos
-# (multi-instance catalog, solve-result cache), and the paper-scale
-# coverage smoke.
-check: build lint test-race fuzz-smoke catalog-demo cache-demo scale-smoke
+# (multi-instance catalog, solve-result cache, reproducible load harness),
+# and the paper-scale coverage smoke.
+check: build lint test-race fuzz-smoke catalog-demo cache-demo load-smoke scale-smoke
 
 build:
 	$(GO) build ./...
@@ -112,6 +112,30 @@ cache-demo:
 		|| { echo "cache-demo: hit not counted"; exit 1; }; \
 	echo "cache-demo: OK (repeat solve served from cache)"
 
+# load-smoke is the serving-layer reproducibility gate in `check`: the same
+# seeded 2-second workload is replayed twice through mroamload's bench mode
+# (each replay boots a fresh mroamd per admission policy). The two recorded
+# request traces must be byte-identical — the harness determinism contract —
+# and the report must carry a well-formed counterfactual-regret summary.
+load-smoke:
+	@$(GO) build -o /tmp/mroamd-load ./cmd/mroamd
+	@$(GO) build -o /tmp/mroamload ./cmd/mroamload
+	@/tmp/mroamload -mroamd /tmp/mroamd-load -policies shed,deadline \
+		-seed 7 -duration 2s -rate 40 -algorithms G-Order -deadlines 0,40 \
+		-mroamd-args "-scale 0.02 -workers 2 -queue 2" \
+		-trace-out /tmp/mroam-load-1.jsonl -o /tmp/mroam-load-1.json
+	@/tmp/mroamload -mroamd /tmp/mroamd-load -policies shed,deadline \
+		-seed 7 -duration 2s -rate 40 -algorithms G-Order -deadlines 0,40 \
+		-mroamd-args "-scale 0.02 -workers 2 -queue 2" \
+		-trace-out /tmp/mroam-load-2.jsonl -o /tmp/mroam-load-2.json
+	@cmp -s /tmp/mroam-load-1.jsonl /tmp/mroam-load-2.jsonl \
+		|| { echo "load-smoke: same seed produced different traces"; exit 1; }
+	@grep -q '"counterfactuals"' /tmp/mroam-load-1.json \
+		&& grep -q '"regret"' /tmp/mroam-load-1.json \
+		&& grep -q '"alternative": "fair"' /tmp/mroam-load-1.json \
+		|| { echo "load-smoke: report missing counterfactual summary"; exit 1; }
+	@wc -l < /tmp/mroam-load-1.jsonl | xargs echo "load-smoke: OK, byte-identical traces, requests:"
+
 # One benchmark per table/figure of the paper plus ablations; see
 # EXPERIMENTS.md for a recorded run. -run=^$ skips the unit tests so the
 # suite measures only benchmark iterations.
@@ -120,11 +144,27 @@ bench:
 
 # bench-json regenerates BENCH_coverage.json — the recorded evidence for
 # the compressed coverage substrate (build/compress/solve times, memory,
-# compression ratio at 50k/500k/1.7M trajectories). The 1.7M rung takes a
-# few minutes; the dense BLS baseline runs up to 500k.
-bench-json:
+# compression ratio at 50k/500k/1.7M trajectories) — and BENCH_serving.json
+# via bench-serving. The 1.7M rung takes a few minutes; the dense BLS
+# baseline runs up to 500k.
+bench-json: bench-serving
 	$(GO) run ./cmd/mroambench -sizes 50000,500000,1700000 -dense-max 500000 \
 		-out BENCH_coverage.json
+
+# bench-serving regenerates BENCH_serving.json — the recorded serving-layer
+# evidence: one seeded 2-second burst replay per admission policy (shed,
+# deadline, fair) against a freshly booted mroamd, each with outcome and
+# latency distributions plus the counterfactual-regret summary. The restart
+# budget is set high enough that BLS solves hold a worker for tens of
+# milliseconds; combined with the 4x burst peaks this genuinely overloads
+# the 2-worker pool, so the recorded runs show sheds and non-zero regret
+# rather than an idle server.
+bench-serving:
+	$(GO) build -o /tmp/mroamd-bench ./cmd/mroamd
+	$(GO) run ./cmd/mroamload -mroamd /tmp/mroamd-bench -policies shed,deadline,fair \
+		-seed 42 -duration 2s -rate 120 -arrival burst -algorithms G-Order,BLS \
+		-deadlines 0,25,100 -restarts 400 \
+		-mroamd-args "-scale 0.02 -workers 2 -queue 4" -o BENCH_serving.json
 
 # scale-smoke is the paper-scale regression gate in `check`: stream-build a
 # 500k-trajectory NYC universe, corridor-compress it, and finish a

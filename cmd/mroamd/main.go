@@ -9,6 +9,8 @@
 //	mroamd -addr :8080 -instances specs.json
 //	mroamd -addr :8080 -ops-addr 127.0.0.1:8081 -workers 4 -queue 8
 //	mroamd -addr :8080 -cache-entries 256
+//	mroamd -addr :8080 -admission deadline
+//	mroamd -addr :8080 -admission fair -fair-share 4
 //
 //	curl -s localhost:8080/solve -d '{"algorithm":"BLS","restarts":5,"deadline_ms":100}'
 //	curl -s localhost:8080/solve -d '{"instance":"sg","algorithm":"BLS"}'
@@ -30,6 +32,14 @@
 // solve traffic and the debug endpoints can be bound to localhost while
 // the API listens publicly. /metrics is also served on the API listener
 // for single-port deployments.
+//
+// Admission defaults to shed-don't-queue: a request that cannot take a
+// queue slot answers 429 immediately. -admission deadline additionally
+// sheds requests whose solve deadline the queue's measured drain rate
+// provably cannot meet, and -admission fair caps one instance's share of
+// the queue (-fair-share) so a hot market cannot starve the fleet. Every
+// shed is labeled by reason in mroamd_requests_rejected_total and carries a
+// Retry-After header derived from the current drain rate.
 //
 // With -cache-entries N the daemon memoizes up to N completed untruncated
 // solve results by their deterministic request tuple (instance + catalog
@@ -100,6 +110,8 @@ func run(args []string, out io.Writer, ready chan<- addrs) error {
 	specFlags := catalog.Bind(fs, catalog.FieldsAll, catalog.DefaultSpec())
 	workers := fs.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
 	queue := fs.Int("queue", -1, "queued requests beyond the workers (-1 = 2×workers); overflow answers 429")
+	admission := fs.String("admission", server.AdmitShed, "admission policy: shed (reject only when the queue is full), deadline (also shed requests whose deadline the queue provably cannot meet), fair (also cap one instance's share of the queue)")
+	fairShare := fs.Int("fair-share", 0, "max admission slots one instance may hold under -admission fair (0 = half the capacity, rounded up)")
 	defaultDeadline := fs.Duration("default-deadline", 0, "deadline applied when a request omits deadline_ms (0 = none)")
 	maxDeadline := fs.Duration("max-deadline", 5*time.Minute, "cap on per-request deadlines (0 = none)")
 	maxRestarts := fs.Int("max-restarts", server.DefaultMaxRestarts, "cap on per-request restart budgets")
@@ -127,6 +139,8 @@ func run(args []string, out io.Writer, ready chan<- addrs) error {
 		MaxDeadline:     *maxDeadline,
 		MaxRestarts:     *maxRestarts,
 		CacheEntries:    *cacheEntries,
+		Admission:       *admission,
+		FairShare:       *fairShare,
 		Logger:          logger,
 	})
 	if err != nil {
@@ -174,6 +188,7 @@ func run(args []string, out io.Writer, ready chan<- addrs) error {
 		"default", def.Name,
 		"billboards", def.Info.Billboards,
 		"advertisers", def.Info.Advertisers,
+		"admission", *admission,
 		"addr", ln.Addr().String(),
 		"ops_addr", opsBound)
 	if ready != nil {

@@ -424,3 +424,75 @@ func TestRunOpsSurface(t *testing.T) {
 		t.Errorf("request ID %s absent from logs:\n%s", reqID, buf.String())
 	}
 }
+
+// TestRunAdmissionFlag boots the daemon with -admission deadline, checks
+// the policy is live on /healthz and in the startup record, and that an
+// unknown policy is rejected at startup.
+func TestRunAdmissionFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-admission", "lifo", "-scale", "0.02"}, &buf, nil); err == nil ||
+		!strings.Contains(err.Error(), "admission policy") {
+		t.Fatalf("unknown admission policy accepted: %v", err)
+	}
+
+	buf.Reset()
+	ready := make(chan addrs, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-scale", "0.02", "-workers", "2",
+			"-admission", "deadline"}, &buf, ready)
+	}()
+	var bound addrs
+	select {
+	case bound = <-ready:
+	case err := <-done:
+		t.Fatalf("run exited before serving: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never came up")
+	}
+	base := "http://" + bound.api
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Admission string `json:"admission"`
+		FairShare int    `json:"fair_share"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Admission != "deadline" || health.FairShare < 1 {
+		t.Errorf("healthz admission %q fair_share %d, want deadline and >= 1",
+			health.Admission, health.FairShare)
+	}
+
+	// A deadline-free solve is always admitted under the deadline policy.
+	resp, err = http.Post(base+"/solve", "application/json",
+		strings.NewReader(`{"algorithm":"G-Order"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve under deadline policy: %d", resp.StatusCode)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never drained")
+	}
+	if out := buf.String(); !strings.Contains(out, `"admission":"deadline"`) {
+		t.Errorf("startup record missing admission policy:\n%s", out)
+	}
+}

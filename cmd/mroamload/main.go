@@ -1,0 +1,321 @@
+// Command mroamload replays a seeded, fully reproducible open-loop workload
+// against mroamd and reports what happened — outcome and latency
+// distributions plus a counterfactual-regret summary pricing the run under
+// the admission policies the server did not use (internal/workload has the
+// methodology).
+//
+// Usage:
+//
+//	mroamload -target http://localhost:8080 -duration 2s -rate 50 -seed 7
+//	mroamload -dry-run -trace-out trace.jsonl -seed 7
+//	mroamload -mroamd ./bin/mroamd -policies shed,deadline,fair -o BENCH_serving.json
+//
+// Three modes:
+//
+//   - -target replays the workload against an already-running daemon and
+//     writes one JSON report.
+//   - -mroamd is bench mode: for each -policies entry it boots the given
+//     mroamd binary on a loopback port with that -admission policy, replays
+//     the same trace, and writes a combined report (the BENCH_serving.json
+//     evidence file).
+//   - -dry-run only generates the trace: with -trace-out it writes the
+//     JSONL, and the report carries just the digest. Two -dry-run
+//     invocations with equal flags must emit byte-identical traces — that
+//     is the reproducibility contract `make load-smoke` enforces.
+//
+// The trace is fully determined by the workload flags (-seed, -duration,
+// -rate, -arrival, the mix pools); replay timing and measured latencies
+// vary run to run, the request sequence never does.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, "mroamload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mroamload", flag.ContinueOnError)
+	fs.SetOutput(out)
+	seed := fs.Uint64("seed", 1, "workload seed; equal seeds generate byte-identical traces")
+	duration := fs.Duration("duration", 2*time.Second, "span of the arrival process")
+	rate := fs.Float64("rate", 50, "mean arrival rate in requests/second")
+	arrival := fs.String("arrival", workload.ArrivalPoisson, "arrival process: poisson, burst or uniform")
+	burstFactor := fs.Float64("burst-factor", workload.DefaultBurstFactor, "burst mode: peak rate multiplier")
+	burstDuty := fs.Float64("burst-duty", workload.DefaultBurstDuty, "burst mode: fraction of each period spent at peak rate")
+	burstPeriod := fs.Duration("burst-period", workload.DefaultBurstPeriod, "burst mode: burst cycle length")
+	instances := fs.String("instances", "", "comma-separated catalog instance pool (empty = the server default instance)")
+	algorithms := fs.String("algorithms", "", "comma-separated algorithm pool (empty = G-Order,G-Global,BLS)")
+	deadlines := fs.String("deadlines", "", "comma-separated deadline_ms pool, 0 = no deadline (empty = no deadlines)")
+	restarts := fs.Int("restarts", 2, "restart budget stamped on every request")
+	solveSeeds := fs.Int("solve-seeds", workload.DefaultSolveSeeds, "distinct solver seeds in the mix")
+
+	target := fs.String("target", "", "base URL of a running mroamd to replay against")
+	mroamdBin := fs.String("mroamd", "", "path to an mroamd binary: bench mode, one boot per -policies entry")
+	mroamdArgs := fs.String("mroamd-args", "-scale 0.02 -workers 2 -queue 4",
+		"space-separated extra flags for the spawned mroamd (bench mode)")
+	policies := fs.String("policies", "shed,deadline,fair", "admission policies to bench (bench mode)")
+	traceOut := fs.String("trace-out", "", "write the generated trace as JSONL to this file")
+	dryRun := fs.Bool("dry-run", false, "generate (and -trace-out) the trace without issuing any request")
+	outPath := fs.String("o", "", "write the JSON report to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := workload.Config{
+		Seed:        *seed,
+		Duration:    *duration,
+		Rate:        *rate,
+		Arrival:     *arrival,
+		BurstFactor: *burstFactor,
+		BurstDuty:   *burstDuty,
+		BurstPeriod: *burstPeriod,
+		Instances:   splitList(*instances),
+		Algorithms:  splitList(*algorithms),
+		Restarts:    *restarts,
+		SolveSeeds:  *solveSeeds,
+	}
+	for _, d := range splitList(*deadlines) {
+		ms, err := strconv.ParseInt(d, 10, 64)
+		if err != nil {
+			return fmt.Errorf("-deadlines: %w", err)
+		}
+		cfg.DeadlinesMS = append(cfg.DeadlinesMS, ms)
+	}
+	trace, err := workload.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, trace); err != nil {
+			return err
+		}
+	}
+
+	var doc any
+	switch {
+	case *dryRun:
+		doc = map[string]any{
+			"config":       cfg,
+			"requests":     len(trace),
+			"trace_sha256": trace.SHA256(),
+		}
+	case *target != "" && *mroamdBin != "":
+		return errors.New("-target and -mroamd are mutually exclusive")
+	case *target != "":
+		rep, err := replay(cfg, trace, *target)
+		if err != nil {
+			return err
+		}
+		doc = rep
+	case *mroamdBin != "":
+		bench, err := benchPolicies(cfg, trace, *mroamdBin, strings.Fields(*mroamdArgs), splitList(*policies))
+		if err != nil {
+			return err
+		}
+		doc = bench
+	default:
+		return errors.New("one of -target, -mroamd or -dry-run is required")
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *outPath != "" {
+		return os.WriteFile(*outPath, enc, 0o644)
+	}
+	_, err = out.Write(enc)
+	return err
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		out = append(out, strings.TrimSpace(p))
+	}
+	return out
+}
+
+func writeTrace(path string, trace workload.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := trace.WriteJSONL(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// replay runs the trace against one live daemon and builds its report.
+func replay(cfg workload.Config, trace workload.Trace, baseURL string) (workload.Report, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Duration+5*time.Minute)
+	defer cancel()
+	params, err := workload.FetchServerParams(ctx, baseURL, nil)
+	if err != nil {
+		return workload.Report{}, err
+	}
+	start := time.Now()
+	results := workload.Run(ctx, baseURL, trace, nil)
+	rep := workload.BuildReport(cfg, trace, results, params, time.Since(start))
+	rep.Target = baseURL
+	return rep, nil
+}
+
+// BenchDoc is the combined bench-mode report, recorded as
+// BENCH_serving.json: the same trace replayed against one freshly booted
+// daemon per admission policy.
+type BenchDoc struct {
+	Tool        string            `json:"tool"`
+	Generated   string            `json:"generated"`
+	TraceSHA256 string            `json:"trace_sha256"`
+	Requests    int               `json:"requests"`
+	Runs        []workload.Report `json:"runs"`
+}
+
+func benchPolicies(cfg workload.Config, trace workload.Trace, bin string, extraArgs, policies []string) (BenchDoc, error) {
+	doc := BenchDoc{
+		Tool:        "mroamload",
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		TraceSHA256: trace.SHA256(),
+		Requests:    len(trace),
+	}
+	if len(policies) == 0 {
+		return doc, errors.New("bench mode: -policies is empty")
+	}
+	for _, policy := range policies {
+		rep, err := benchOne(cfg, trace, bin, extraArgs, policy)
+		if err != nil {
+			return doc, fmt.Errorf("policy %s: %w", policy, err)
+		}
+		doc.Runs = append(doc.Runs, rep)
+	}
+	return doc, nil
+}
+
+func benchOne(cfg workload.Config, trace workload.Trace, bin string, extraArgs []string, policy string) (workload.Report, error) {
+	d, err := startDaemon(bin, append([]string{"-addr", "127.0.0.1:0", "-admission", policy}, extraArgs...))
+	if err != nil {
+		return workload.Report{}, err
+	}
+	defer d.stop()
+	rep, err := replay(cfg, trace, "http://"+d.addr)
+	if err != nil {
+		return workload.Report{}, err
+	}
+	return rep, d.stop()
+}
+
+// daemon is one spawned mroamd under bench control.
+type daemon struct {
+	cmd     *exec.Cmd
+	addr    string
+	stopped bool
+	stderr  *bytes.Buffer
+}
+
+// startDaemon boots the binary and waits for its structured "serving" log
+// record, which carries the bound loopback address.
+func startDaemon(bin string, args []string) (*daemon, error) {
+	cmd := exec.Command(bin, args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	d := &daemon{cmd: cmd, stderr: &stderr}
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+		for sc.Scan() {
+			var rec struct {
+				Msg  string `json:"msg"`
+				Addr string `json:"addr"`
+			}
+			if json.Unmarshal(sc.Bytes(), &rec) == nil && rec.Msg == "serving" {
+				select {
+				case addrCh <- rec.Addr:
+				default:
+				}
+			}
+		}
+		// Keep draining until the pipe closes so the daemon's logging
+		// never blocks on a full pipe.
+	}()
+
+	select {
+	case addr := <-addrCh:
+		d.addr = addr
+		return d, nil
+	case <-time.After(30 * time.Second):
+		d.stop()
+		return nil, fmt.Errorf("daemon never logged a serving record (stderr: %s)", stderr.String())
+	}
+}
+
+// stop SIGTERMs the daemon and waits for its graceful drain; it is safe to
+// call twice.
+func (d *daemon) stop() error {
+	if d.stopped {
+		return nil
+	}
+	d.stopped = true
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		d.cmd.Process.Kill()
+		return d.cmd.Wait()
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("daemon exit: %w (stderr: %s)", err, d.stderr.String())
+		}
+		return nil
+	case <-time.After(60 * time.Second):
+		d.cmd.Process.Kill()
+		<-done
+		return errors.New("daemon did not drain within 60s; killed")
+	}
+}

@@ -1,0 +1,210 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/coverage"
+	"repro/internal/rng"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// TestDryRunByteIdenticalTraces is the CLI-level determinism gate: two
+// -dry-run invocations with the same flags must write byte-identical trace
+// files and report the same digest.
+func TestDryRunByteIdenticalTraces(t *testing.T) {
+	dir := t.TempDir()
+	argsFor := func(path string) []string {
+		return []string{"-dry-run", "-seed", "9", "-duration", "1s", "-rate", "80",
+			"-arrival", "burst", "-deadlines", "0,25,100", "-trace-out", path}
+	}
+	var out1, out2 bytes.Buffer
+	if err := run(argsFor(filepath.Join(dir, "a.jsonl")), &out1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(argsFor(filepath.Join(dir, "b.jsonl")), &out2); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(filepath.Join(dir, "a.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "b.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 || !bytes.Equal(a, b) {
+		t.Fatalf("trace files differ (%d vs %d bytes)", len(a), len(b))
+	}
+	var rep1, rep2 struct {
+		Requests    int    `json:"requests"`
+		TraceSHA256 string `json:"trace_sha256"`
+	}
+	if err := json.Unmarshal(out1.Bytes(), &rep1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(out2.Bytes(), &rep2); err != nil {
+		t.Fatal(err)
+	}
+	if rep1.TraceSHA256 == "" || rep1.TraceSHA256 != rep2.TraceSHA256 {
+		t.Fatalf("digest mismatch: %q vs %q", rep1.TraceSHA256, rep2.TraceSHA256)
+	}
+	if rep1.Requests == 0 {
+		t.Fatal("dry run generated no requests")
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-duration", "1s"}, &buf); err == nil {
+		t.Error("missing mode accepted")
+	}
+	if err := run([]string{"-target", "x", "-mroamd", "y"}, &buf); err == nil {
+		t.Error("-target with -mroamd accepted")
+	}
+	if err := run([]string{"-dry-run", "-rate", "0"}, &buf); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if err := run([]string{"-dry-run", "-deadlines", "ten"}, &buf); err == nil {
+		t.Error("non-numeric deadline accepted")
+	}
+}
+
+// loadInstance builds the small deterministic instance the target-mode test
+// serves.
+func loadInstance(tb testing.TB) *core.Instance {
+	tb.Helper()
+	r := rng.New(11)
+	const nTraj, nBB, nAdv = 120, 16, 3
+	lists := make([]coverage.List, nBB)
+	for b := range lists {
+		deg := 1 + r.Intn(nTraj/3+1)
+		ids := make([]int32, deg)
+		for i := range ids {
+			ids[i] = int32(r.Intn(nTraj))
+		}
+		lists[b] = coverage.NewList(ids)
+	}
+	u, err := coverage.NewUniverse(nTraj, lists)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	advs := make([]core.Advertiser, nAdv)
+	for i := range advs {
+		d := int64(1.1 * float64(u.TotalSupply()) / float64(nAdv))
+		if d < 1 {
+			d = 1
+		}
+		advs[i] = core.Advertiser{Demand: d, Payment: float64(d)}
+	}
+	inst, err := core.NewInstance(u, advs, 0.5)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return inst
+}
+
+// TestTargetModeReport replays against an in-process server and checks the
+// emitted report document end to end.
+func TestTargetModeReport(t *testing.T) {
+	cat := catalog.New()
+	if _, err := cat.AddInstance("default", loadInstance(t)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := server.New(server.Config{Catalog: cat, Workers: 2, QueueDepth: 2, Admission: server.AdmitDeadline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	outFile := filepath.Join(t.TempDir(), "report.json")
+	err = run([]string{"-target", ts.URL, "-seed", "3", "-duration", "400ms", "-rate", "60",
+		"-algorithms", "G-Order", "-deadlines", "0,50", "-o", outFile}, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep workload.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report not valid JSON: %v\n%s", err, raw)
+	}
+	if rep.Target != ts.URL || rep.Policy != server.AdmitDeadline {
+		t.Errorf("report target/policy: %q %q", rep.Target, rep.Policy)
+	}
+	if rep.Requests == 0 || rep.TraceSHA256 == "" {
+		t.Errorf("report missing trace identity: %+v", rep)
+	}
+	total := 0
+	for _, n := range rep.Outcomes {
+		total += n
+	}
+	if total != rep.Requests {
+		t.Errorf("outcomes sum %d, want %d", total, rep.Requests)
+	}
+	if len(rep.Counterfactuals) != 2 {
+		t.Fatalf("%d counterfactuals, want 2", len(rep.Counterfactuals))
+	}
+	for _, cf := range rep.Counterfactuals {
+		if cf.Baseline != server.AdmitDeadline || cf.Alternative == "" {
+			t.Errorf("malformed counterfactual: %+v", cf)
+		}
+	}
+}
+
+// TestBenchModeEndToEnd builds the real mroamd binary, benches two
+// admission policies against it, and checks the combined document — the
+// same path `make load-smoke` and BENCH_serving.json use.
+func TestBenchModeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots mroamd twice")
+	}
+	bin := filepath.Join(t.TempDir(), "mroamd")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/mroamd")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building mroamd: %v\n%s", err, out)
+	}
+
+	outFile := filepath.Join(t.TempDir(), "bench.json")
+	err := run([]string{"-mroamd", bin, "-policies", "shed,deadline",
+		"-seed", "5", "-duration", "500ms", "-rate", "40", "-algorithms", "G-Order",
+		"-deadlines", "0,40", "-mroamd-args", "-scale 0.02 -workers 2 -queue 2",
+		"-o", outFile}, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc BenchDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("bench doc not valid JSON: %v\n%s", err, raw)
+	}
+	if len(doc.Runs) != 2 {
+		t.Fatalf("%d runs, want 2", len(doc.Runs))
+	}
+	for i, policy := range []string{"shed", "deadline"} {
+		run := doc.Runs[i]
+		if run.Policy != policy {
+			t.Errorf("run %d policy %q, want %q", i, run.Policy, policy)
+		}
+		if run.TraceSHA256 != doc.TraceSHA256 {
+			t.Errorf("run %d replayed a different trace", i)
+		}
+		if len(run.Counterfactuals) != 2 {
+			t.Errorf("run %d has %d counterfactuals, want 2", i, len(run.Counterfactuals))
+		}
+	}
+}

@@ -105,6 +105,87 @@ func (v *CounterVec) Each(f func(values []string, count int64)) {
 	}
 }
 
+// A Gauge is an integer gauge: a value that can go up and down. The zero
+// value is ready to use; all methods are safe for concurrent use and
+// lock-free.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Add adds delta (which may be negative) and returns the new value. The
+// return value lets admission-control callers combine the reservation and
+// the limit check in one atomic step: reserve with Add(1), and if the
+// result exceeds the cap, roll back with Add(-1) and reject — the admitted
+// occupancy never exceeds the cap.
+func (g *Gauge) Add(delta int64) int64 { return g.v.Add(delta) }
+
+// Set replaces the value.
+func (g *Gauge) Set(x int64) { g.v.Store(x) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// A GaugeVec is a family of Gauges keyed by label values, mirroring
+// CounterVec: With creates children on first use, Delete retires a label
+// set from the exposition, and the children themselves are lock-free.
+type GaugeVec struct {
+	name   string
+	help   string
+	labels []string
+
+	mu       sync.RWMutex
+	children map[string]*gaugeChild
+}
+
+type gaugeChild struct {
+	values []string
+	g      Gauge
+}
+
+// With returns the child gauge for the given label values (one per label
+// name, in declaration order), creating it on first use.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: %s has %d labels, got %d values", v.name, len(v.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	v.mu.RLock()
+	ch := v.children[key]
+	v.mu.RUnlock()
+	if ch == nil {
+		v.mu.Lock()
+		if ch = v.children[key]; ch == nil {
+			ch = &gaugeChild{values: append([]string(nil), values...)}
+			v.children[key] = ch
+		}
+		v.mu.Unlock()
+	}
+	return &ch.g
+}
+
+// Delete removes the child with the given label values, so a retired label
+// value stops appearing in the exposition. Deleting an absent child is a
+// no-op; callers holding the *Gauge keep a detached gauge.
+func (v *GaugeVec) Delete(values ...string) {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: %s has %d labels, got %d values", v.name, len(v.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	v.mu.Lock()
+	delete(v.children, key)
+	v.mu.Unlock()
+}
+
+// Each calls f for every child in the family, in unspecified order, with
+// the child's label values and current value.
+func (v *GaugeVec) Each(f func(values []string, value int64)) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	for _, ch := range v.children {
+		f(ch.values, ch.g.Value())
+	}
+}
+
 // atomicFloat is a float64 updated with a CAS loop on its bit pattern.
 type atomicFloat struct {
 	bits atomic.Uint64
@@ -178,6 +259,7 @@ type family struct {
 	// exactly one of the following is set
 	counter *Counter
 	vec     *CounterVec
+	gvec    *GaugeVec
 	hist    *Histogram
 	gauge   func() float64
 }
@@ -224,6 +306,23 @@ func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 	return v
 }
 
+// GaugeVec registers and returns a new labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	for _, l := range labels {
+		if !validLabelName(l) {
+			panic(fmt.Sprintf("obs: invalid label name %q", l))
+		}
+	}
+	v := &GaugeVec{
+		name:     name,
+		help:     help,
+		labels:   append([]string(nil), labels...),
+		children: make(map[string]*gaugeChild),
+	}
+	r.register(family{name: name, help: help, kind: "gauge", gvec: v})
+	return v
+}
+
 // Histogram registers and returns a new fixed-bucket histogram. Bounds
 // must be finite and strictly increasing; the +Inf bucket is implicit.
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
@@ -265,6 +364,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(bw, "%s %d\n", f.name, f.counter.Value())
 		case f.vec != nil:
 			writeVec(bw, f.vec)
+		case f.gvec != nil:
+			writeGaugeVec(bw, f.gvec)
 		case f.hist != nil:
 			writeHistogram(bw, f.name, f.hist)
 		case f.gauge != nil:
@@ -288,6 +389,24 @@ func writeVec(w io.Writer, v *CounterVec) {
 			pairs[i] = l + `="` + escapeLabelValue(ch.values[i]) + `"`
 		}
 		fmt.Fprintf(w, "%s{%s} %d\n", v.name, strings.Join(pairs, ","), ch.c.Value())
+	}
+	v.mu.RUnlock()
+}
+
+func writeGaugeVec(w io.Writer, v *GaugeVec) {
+	v.mu.RLock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ch := v.children[k]
+		pairs := make([]string, len(v.labels))
+		for i, l := range v.labels {
+			pairs[i] = l + `="` + escapeLabelValue(ch.values[i]) + `"`
+		}
+		fmt.Fprintf(w, "%s{%s} %d\n", v.name, strings.Join(pairs, ","), ch.g.Value())
 	}
 	v.mu.RUnlock()
 }

@@ -31,6 +31,10 @@ e`).Inc() // exercises label escaping
 		h.Observe(x)
 	}
 	r.GaugeFunc("demo_temperature", "A gauge.", func() float64 { return 36.5 })
+	g := r.GaugeVec("demo_inflight", "In-flight work by lane.", "lane")
+	g.With("fast").Add(3)
+	g.With("slow").Add(5)
+	g.With("slow").Add(-1)
 	return r
 }
 
@@ -214,6 +218,80 @@ func TestCounterVecDelete(t *testing.T) {
 
 // TestRegistryPanics: misuse (duplicate names, bad names, reserved labels,
 // bad buckets) must fail loudly at registration time, not at scrape time.
+// TestGaugeVec covers the labeled-gauge family: Add returns the new value
+// (the atomic reserve-then-check contract admission control relies on),
+// Delete retires a series from the exposition, and concurrent With/Add on
+// one child never loses an update.
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("jobs_inflight", "Jobs in flight by queue.", "queue")
+
+	if got := v.With("a").Add(1); got != 1 {
+		t.Errorf("first Add returned %d, want 1", got)
+	}
+	if got := v.With("a").Add(2); got != 3 {
+		t.Errorf("second Add returned %d, want 3", got)
+	}
+	if got := v.With("a").Add(-3); got != 0 {
+		t.Errorf("drain returned %d, want 0", got)
+	}
+	v.With("b").Set(7)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateExposition(buf.Bytes()); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, buf.Bytes())
+	}
+	for _, want := range []string{
+		"# TYPE jobs_inflight gauge",
+		`jobs_inflight{queue="a"} 0`,
+		`jobs_inflight{queue="b"} 7`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, buf.String())
+		}
+	}
+
+	v.Delete("b")
+	v.Delete("nonexistent") // no-op
+	buf.Reset()
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `queue="b"`) {
+		t.Errorf("deleted series still rendered:\n%s", buf.String())
+	}
+
+	// Concurrent increments across goroutines must all land.
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				v.With("hot").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := v.With("hot").Value(); got != workers*perWorker {
+		t.Errorf("hot gauge %d, want %d", got, workers*perWorker)
+	}
+
+	// Label arity mismatches panic like CounterVec's.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("With with wrong arity did not panic")
+			}
+		}()
+		v.With("a", "b")
+	}()
+}
+
 func TestRegistryPanics(t *testing.T) {
 	expectPanic := func(name string, f func()) {
 		t.Helper()

@@ -1,0 +1,163 @@
+package server
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Admission policies. All three shed rather than queue unboundedly; they
+// differ in which requests they are willing to shed before the queue is
+// actually full:
+//
+//   - AdmitShed (the default) is the original binary policy: admit FIFO
+//     while the queue has space, answer 429 reason=capacity otherwise. Its
+//     behavior — including every response byte on the default instance — is
+//     identical to the pre-policy server.
+//   - AdmitDeadline additionally screens each request's solve deadline
+//     against the queue's estimated drain: a request whose deadline would
+//     already be spent by the time a worker frees is shed immediately
+//     (reason=deadline_infeasible) instead of being admitted only to return
+//     a degenerate truncated result. The admitted set is feasible by
+//     construction with respect to the estimate in force at admission.
+//   - AdmitFair additionally caps any one instance's share of the admission
+//     capacity (FairShare slots), so a hot market cannot occupy the whole
+//     queue and starve requests for every other instance
+//     (reason=fairness).
+const (
+	AdmitShed     = "shed"
+	AdmitDeadline = "deadline"
+	AdmitFair     = "fair"
+)
+
+// Reject reasons, used as the "reason" label on
+// mroamd_requests_rejected_total and echoed in the X-Reject-Reason header
+// of 429 responses.
+const (
+	rejectCapacity           = "capacity"
+	rejectDeadlineInfeasible = "deadline_infeasible"
+	rejectFairness           = "fairness"
+)
+
+// rejectReasons lists every reason label, in exposition order.
+var rejectReasons = []string{rejectCapacity, rejectDeadlineInfeasible, rejectFairness}
+
+// admission holds the policy state consulted on every /solve request. The
+// only mutable field is the service-time estimate, a lock-free EWMA of how
+// long completed requests held their worker slot — which is exactly the
+// queue's drain rate: with W workers and a mean hold time s, admitted
+// requests drain at W/s per second regardless of how much of s was solver
+// work versus cache coordination.
+type admission struct {
+	policy    string
+	workers   int
+	capacity  int // workers + queue depth: total admission tokens
+	fairShare int // max admission slots one instance may hold (fair policy)
+
+	svcMicros atomic.Int64 // EWMA worker-hold time in µs; 0 = no samples yet
+}
+
+// validPolicy reports whether name is a known admission policy.
+func validPolicy(name string) bool {
+	return name == AdmitShed || name == AdmitDeadline || name == AdmitFair
+}
+
+// ewmaWeight is the weight of each new service-time sample. 1/4 keeps the
+// estimate responsive to load shifts (a burst of big BLS solves moves it
+// within a few requests) without letting one outlier rewrite it.
+const ewmaWeight = 0.25
+
+// observeService folds one completed request's worker-hold time into the
+// drain-rate estimate.
+func (a *admission) observeService(d time.Duration) {
+	us := d.Microseconds()
+	if us < 1 {
+		us = 1 // a sub-µs hold still drains a token
+	}
+	for {
+		old := a.svcMicros.Load()
+		next := us
+		if old != 0 {
+			next = int64(float64(old)*(1-ewmaWeight) + float64(us)*ewmaWeight)
+			if next < 1 {
+				next = 1
+			}
+		}
+		if a.svcMicros.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// serviceEstimate returns the current EWMA worker-hold time, or 0 when no
+// request has completed yet.
+func (a *admission) serviceEstimate() time.Duration {
+	return time.Duration(a.svcMicros.Load()) * time.Microsecond
+}
+
+// EstimatedQueueWait is the expected time a request admitted now spends
+// waiting before a worker picks it up, given `queued` admission tokens
+// outstanding (queued + executing requests), `workers` parallel slots and a
+// mean worker-hold time of svc. With fewer outstanding requests than
+// workers a slot is free (or about to be) and the wait is zero; beyond
+// that, each batch of `workers` completions takes svc, so the request at
+// depth d starts after roughly (d−workers+1)·svc/workers.
+func EstimatedQueueWait(queued, workers int, svc time.Duration) time.Duration {
+	ahead := queued - workers + 1
+	if ahead <= 0 || svc <= 0 {
+		return 0
+	}
+	return time.Duration(float64(ahead) * float64(svc) / float64(workers))
+}
+
+// DeadlineFeasible reports whether a request with the given solve deadline,
+// arriving when `queued` admission tokens are outstanding, can still have
+// budget left when it reaches a worker. A request with no deadline is
+// always feasible (its budget is unbounded), and with no service samples
+// yet there is nothing to prove infeasibility against, so the request is
+// admitted — the deadline policy only ever sheds on positive evidence.
+func DeadlineFeasible(deadline time.Duration, queued, workers int, svc time.Duration) bool {
+	if deadline <= 0 {
+		return true
+	}
+	return deadline > EstimatedQueueWait(queued, workers, svc)
+}
+
+// retryAfterSeconds derives the Retry-After hint on a 429 from the current
+// queue drain rate: the estimated time for the backlog to drain, rounded up
+// to whole seconds and clamped to [1, 60]. With no service samples yet it
+// falls back to 1 second, the pre-policy constant.
+func retryAfterSeconds(queued, workers int, svc time.Duration) int {
+	wait := EstimatedQueueWait(queued, workers, svc)
+	if wait <= 0 {
+		return 1
+	}
+	secs := int((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// DefaultFairShare is the fair policy's per-instance admission cap when
+// Config.FairShare is unset: half the total capacity, rounded up, so a
+// single instance can never occupy the entire queue but a two-instance
+// fleet can still use all of it.
+func DefaultFairShare(capacity int) int {
+	share := (capacity + 1) / 2
+	if share < 1 {
+		share = 1
+	}
+	return share
+}
+
+// String renders the admission configuration for logs and /healthz.
+func (a *admission) String() string {
+	if a.policy == AdmitFair {
+		return fmt.Sprintf("%s(share=%d)", a.policy, a.fairShare)
+	}
+	return a.policy
+}

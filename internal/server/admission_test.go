@@ -1,0 +1,264 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// waitTokens polls until the server holds exactly n admission tokens
+// (queued + executing requests).
+func waitTokens(t *testing.T, s *Server, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.queue) != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue stuck at %d tokens, want %d", len(s.queue), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// asyncSolve posts one solve on its own goroutine and returns a channel
+// carrying the status code.
+func asyncSolve(t *testing.T, ts *httptest.Server, body string) <-chan int {
+	t.Helper()
+	status := make(chan int, 1)
+	go func() {
+		resp, err := ts.Client().Post(ts.URL+"/solve", "application/json", strings.NewReader(body))
+		if err != nil {
+			status <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		status <- resp.StatusCode
+	}()
+	return status
+}
+
+// postRaw posts one solve synchronously and returns the raw response.
+func postRaw(t *testing.T, ts *httptest.Server, body string) *http.Response {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+"/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp
+}
+
+// TestAdmissionDeadlineSheds pins the deadline policy end to end with a
+// fully deterministic queue: two gated solves saturate a 1-worker/1-slot
+// pool, the drain estimate is pinned at 3s per solve, and then
+//
+//   - a request with a 100ms deadline is provably infeasible (estimated
+//     wait 6s) and must shed with reason deadline_infeasible and a
+//     drain-rate-derived Retry-After of 6s;
+//   - a request with no deadline passes the screen and sheds on plain
+//     capacity instead, proving the checks fire in order;
+//   - after the queue drains, the same 100ms request is admitted — the
+//     policy sheds on queue state, not on the deadline's absolute size.
+func TestAdmissionDeadlineSheds(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	inst := testInstance(t, 50, 8, 2)
+	cfg, release, started := gatedConfig(t, inst, 1, 1)
+	cfg.Admission = AdmitDeadline
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Pin the EWMA drain estimate to 3s per solve so the feasibility
+	// arithmetic is exact: with 2 outstanding tokens and 1 worker the
+	// estimated wait is (2-1+1)×3s = 6s.
+	s.adm.svcMicros.Store(3_000_000)
+
+	first := asyncSolve(t, ts, `{"algorithm":"G-Order"}`)
+	<-started // executing
+	second := asyncSolve(t, ts, `{"algorithm":"G-Order"}`)
+	waitTokens(t, s, 2) // queued behind the gate
+
+	resp := postRaw(t, ts, `{"algorithm":"G-Order","deadline_ms":100}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("infeasible deadline: status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Reject-Reason"); got != "deadline_infeasible" {
+		t.Fatalf("reject reason %q, want deadline_infeasible", got)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "6" {
+		t.Fatalf("Retry-After %q, want 6 (6s estimated drain)", got)
+	}
+
+	// A deadline-free request survives the screen and hits the capacity
+	// wall instead.
+	resp = postRaw(t, ts, `{"algorithm":"G-Order"}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("deadline-free overflow: status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Reject-Reason"); got != "capacity" {
+		t.Fatalf("reject reason %q, want capacity", got)
+	}
+
+	release()
+	for _, ch := range []<-chan int{first, second} {
+		if got := <-ch; got != http.StatusOK {
+			t.Fatalf("admitted solve finished %d, want 200", got)
+		}
+	}
+	waitTokens(t, s, 0)
+
+	// Same 100ms deadline, empty queue: estimated wait 0, admitted.
+	resp = postRaw(t, ts, `{"algorithm":"G-Order","deadline_ms":100}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drained-queue deadline solve: status %d, want 200", resp.StatusCode)
+	}
+
+	var st Stats
+	getStats(t, ts, &st)
+	if st.RejectedByReason["deadline_infeasible"] != 1 || st.RejectedByReason["capacity"] != 1 {
+		t.Errorf("rejected_by_reason = %v, want 1 deadline_infeasible + 1 capacity", st.RejectedByReason)
+	}
+	if st.Rejected != 2 {
+		t.Errorf("rejected total %d, want 2", st.Rejected)
+	}
+	ts.Client().CloseIdleConnections()
+	ts.Close()
+	assertNoGoroutineLeak(t, baseline)
+}
+
+// TestAdmissionFairShareCap pins the fair policy: with FairShare=2 an
+// instance sending its third concurrent request sheds with reason fairness
+// no matter how much total capacity remains, other instances keep being
+// admitted, and the occupancy accounting releases slots on completion so
+// the shed instance recovers.
+func TestAdmissionFairShareCap(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	inst := testInstance(t, 50, 8, 2)
+	cfg, release, started := gatedConfig(t, inst, 2, 2)
+	cfg.Admission = AdmitFair
+	cfg.FairShare = 2
+	if _, err := cfg.Catalog.AddInstance("other", testInstance(t, 50, 8, 2)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Two "default" requests occupy the fair share (both executing).
+	d1 := asyncSolve(t, ts, `{"algorithm":"G-Order"}`)
+	<-started
+	d2 := asyncSolve(t, ts, `{"algorithm":"G-Order"}`)
+	<-started
+
+	// The third "default" request must shed on fairness even though half
+	// the admission capacity (2 of 4 tokens) is free.
+	resp := postRaw(t, ts, `{"algorithm":"G-Order"}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-share request: status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Reject-Reason"); got != "fairness" {
+		t.Fatalf("reject reason %q, want fairness", got)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("fairness shed missing Retry-After")
+	}
+
+	// "other" still gets its share: two admitted (queued behind the
+	// gate), the third sheds on fairness.
+	o1 := asyncSolve(t, ts, `{"algorithm":"G-Order","instance":"other"}`)
+	waitTokens(t, s, 3)
+	o2 := asyncSolve(t, ts, `{"algorithm":"G-Order","instance":"other"}`)
+	waitTokens(t, s, 4)
+	resp = postRaw(t, ts, `{"algorithm":"G-Order","instance":"other"}`)
+	if resp.StatusCode != http.StatusTooManyRequests || resp.Header.Get("X-Reject-Reason") != "fairness" {
+		t.Fatalf("third other request: status %d reason %q, want 429 fairness",
+			resp.StatusCode, resp.Header.Get("X-Reject-Reason"))
+	}
+
+	release()
+	for _, ch := range []<-chan int{d1, d2, o1, o2} {
+		if got := <-ch; got != http.StatusOK {
+			t.Fatalf("admitted solve finished %d, want 200", got)
+		}
+	}
+	waitTokens(t, s, 0)
+
+	// Slots were released: the previously capped instance is admitted
+	// again.
+	resp = postRaw(t, ts, `{"algorithm":"G-Order"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-drain solve: status %d, want 200", resp.StatusCode)
+	}
+
+	var st Stats
+	getStats(t, ts, &st)
+	if st.RejectedByReason["fairness"] != 2 {
+		t.Errorf("fairness rejections %d, want 2 (by reason: %v)", st.RejectedByReason["fairness"], st.RejectedByReason)
+	}
+	ts.Client().CloseIdleConnections()
+	ts.Close()
+	assertNoGoroutineLeak(t, baseline)
+}
+
+// TestAdmissionConfigValidation: empty selects shed, unknown policies are
+// a construction-time error, and the default fair share is half the
+// capacity rounded up.
+func TestAdmissionConfigValidation(t *testing.T) {
+	inst := testInstance(t, 50, 8, 2)
+	s, err := New(Config{Catalog: catalogFor(t, inst), Workers: 3, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.adm.policy != AdmitShed {
+		t.Errorf("default policy %q, want shed", s.adm.policy)
+	}
+	if s.adm.fairShare != 3 { // (3+2+1)/2
+		t.Errorf("default fair share %d, want 3", s.adm.fairShare)
+	}
+	if _, err := New(Config{Catalog: catalogFor(t, inst), Admission: "lifo"}); err == nil ||
+		!strings.Contains(err.Error(), "admission policy") {
+		t.Errorf("unknown policy error: %v", err)
+	}
+}
+
+// TestAdmissionDeadlineNoEvidenceAdmits: before any request has completed
+// there is no drain estimate, and the deadline policy must admit even very
+// tight deadlines — it sheds only on positive evidence of infeasibility.
+func TestAdmissionDeadlineNoEvidenceAdmits(t *testing.T) {
+	inst := testInstance(t, 50, 8, 2)
+	s, err := New(Config{Catalog: catalogFor(t, inst), Workers: 1, Admission: AdmitDeadline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp := postRaw(t, ts, `{"algorithm":"G-Order","deadline_ms":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tight deadline with no estimate: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// getStats decodes GET /stats.
+func getStats(t *testing.T, ts *httptest.Server, st *Stats) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(st); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -20,18 +20,19 @@ type metrics struct {
 	reg   *obs.Registry
 	cat   *catalog.Catalog
 
-	requests     *obs.CounterVec // completed solves by algorithm
-	instanceReqs *obs.CounterVec // completed solves by catalog instance
-	reloads      *obs.Counter    // successful PUT /instances loads
-	latency      *obs.Histogram  // seconds per completed solve
-	regret       *obs.Histogram  // final total regret per completed solve
-	truncated    *obs.Counter    // completed solves cut off by deadline/cancel
-	rejected     *obs.Counter    // 429s: queue full at admission
-	abandoned    *obs.Counter    // client gone while waiting for a worker slot
-	restarts     *obs.Counter    // sum of RestartsCompleted
-	evals        *obs.Counter    // sum of Evals
-	cache        *obs.CounterVec // gain-cache events by kind
-	solveCache   *obs.CounterVec // solve-result cache events by kind
+	requests         *obs.CounterVec // completed solves by algorithm
+	instanceReqs     *obs.CounterVec // completed solves by catalog instance
+	instanceInflight *obs.GaugeVec   // admitted (queued or executing) requests by instance
+	reloads          *obs.Counter    // successful PUT /instances loads
+	latency          *obs.Histogram  // seconds per completed solve
+	regret           *obs.Histogram  // final total regret per completed solve
+	truncated        *obs.Counter    // completed solves cut off by deadline/cancel
+	rejected         *obs.CounterVec // 429s at admission, by reason
+	abandoned        *obs.Counter    // client gone while waiting for a worker slot
+	restarts         *obs.Counter    // sum of RestartsCompleted
+	evals            *obs.Counter    // sum of Evals
+	cache            *obs.CounterVec // gain-cache events by kind
+	solveCache       *obs.CounterVec // solve-result cache events by kind
 
 	// Histograms do not retain a max, so /stats keeps its own (CAS loop,
 	// still lock-free).
@@ -54,6 +55,8 @@ func newMetrics(cat *catalog.Catalog) *metrics {
 		"Completed solve requests by algorithm.", "algorithm")
 	m.instanceReqs = reg.CounterVec("mroamd_instance_requests_total",
 		"Completed solve requests by catalog instance.", "instance")
+	m.instanceInflight = reg.GaugeVec("mroamd_instance_inflight",
+		"Requests currently admitted (queued or executing) per instance.", "instance")
 	m.reloads = reg.Counter("mroamd_instance_reloads_total",
 		"Instances loaded or hot-swapped via PUT /instances.")
 	reg.GaugeFunc("mroamd_instances_loaded",
@@ -65,8 +68,17 @@ func newMetrics(cat *catalog.Catalog) *metrics {
 		"Final total regret of completed solves.", regretBuckets)
 	m.truncated = reg.Counter("mroamd_solves_truncated_total",
 		"Completed solves cut short by deadline or client disconnect.")
-	m.rejected = reg.Counter("mroamd_requests_rejected_total",
-		"Requests shed with 429 because the admission queue was full.")
+	m.rejected = reg.CounterVec("mroamd_requests_rejected_total",
+		"Requests shed with 429 at admission, by reason: capacity = queue full, "+
+			"deadline_infeasible = the deadline policy judged the request's deadline "+
+			"unmeetable at the current drain rate, fairness = the instance exceeded "+
+			"its fair share of admission slots.",
+		"reason")
+	// Pre-create every reason series so a zero stays visible in the
+	// exposition (absent series read as "never possible", zeros as "not yet").
+	for _, reason := range rejectReasons {
+		m.rejected.With(reason)
+	}
 	m.abandoned = reg.Counter("mroamd_requests_abandoned_total",
 		"Requests whose client disconnected while queued (499).")
 	m.restarts = reg.Counter("mroamd_solver_restarts_total",
@@ -140,23 +152,34 @@ type InstanceCount struct {
 	Corridors        int     `json:"corridors"`
 	CompressionRatio float64 `json:"compression_ratio"`
 	Requests         int64   `json:"requests"`
+	// Inflight is the instance's currently admitted (queued or executing)
+	// request count at snapshot time, so a load run can correlate observed
+	// shedding with per-instance queue pressure.
+	Inflight int64 `json:"inflight"`
 }
 
 // Stats is the JSON document served on GET /stats. Its shape predates the
 // Prometheus exposition and is kept backward-compatible; the values are
 // derived from the same underlying counters and histograms.
 type Stats struct {
-	UptimeSeconds  float64     `json:"uptime_seconds"`
-	Completed      int64       `json:"completed"`
-	Truncated      int64       `json:"truncated"`
-	TruncationRate float64     `json:"truncation_rate"`
-	Rejected       int64       `json:"rejected"`
-	Abandoned      int64       `json:"abandoned"`
-	LatencyAvgMS   float64     `json:"latency_avg_ms"`
-	LatencyMaxMS   float64     `json:"latency_max_ms"`
-	Restarts       int64       `json:"restarts"`
-	Evals          int64       `json:"evals"`
-	PerAlgorithm   []AlgoCount `json:"per_algorithm"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	Completed      int64   `json:"completed"`
+	Truncated      int64   `json:"truncated"`
+	TruncationRate float64 `json:"truncation_rate"`
+	Rejected       int64   `json:"rejected"`
+	// RejectedByReason splits Rejected by admission reason (capacity,
+	// deadline_infeasible, fairness); the values sum to Rejected.
+	RejectedByReason map[string]int64 `json:"rejected_by_reason"`
+	Abandoned        int64            `json:"abandoned"`
+	// QueueDepth is the number of admission tokens held at snapshot time
+	// (requests queued or executing), the same value as the
+	// mroamd_queue_depth gauge.
+	QueueDepth   int         `json:"queue_depth"`
+	LatencyAvgMS float64     `json:"latency_avg_ms"`
+	LatencyMaxMS float64     `json:"latency_max_ms"`
+	Restarts     int64       `json:"restarts"`
+	Evals        int64       `json:"evals"`
+	PerAlgorithm []AlgoCount `json:"per_algorithm"`
 	// PerInstance reports the catalog's currently loaded instances — name,
 	// generation, dimensions — joined with each one's completed-request
 	// count. Requests against a since-reloaded generation still count under
@@ -164,17 +187,22 @@ type Stats struct {
 	PerInstance []InstanceCount `json:"per_instance"`
 }
 
-func (m *metrics) snapshot() Stats {
+func (m *metrics) snapshot(queueDepth int) Stats {
 	s := Stats{
-		UptimeSeconds: time.Since(m.start).Seconds(),
-		Completed:     m.latency.Count(),
-		Truncated:     m.truncated.Value(),
-		Rejected:      m.rejected.Value(),
-		Abandoned:     m.abandoned.Value(),
-		Restarts:      m.restarts.Value(),
-		Evals:         m.evals.Value(),
-		LatencyMaxMS:  float64(m.latencyMaxMicros.Load()) / 1e3,
+		UptimeSeconds:    time.Since(m.start).Seconds(),
+		Completed:        m.latency.Count(),
+		Truncated:        m.truncated.Value(),
+		RejectedByReason: make(map[string]int64, len(rejectReasons)),
+		Abandoned:        m.abandoned.Value(),
+		QueueDepth:       queueDepth,
+		Restarts:         m.restarts.Value(),
+		Evals:            m.evals.Value(),
+		LatencyMaxMS:     float64(m.latencyMaxMicros.Load()) / 1e3,
 	}
+	m.rejected.Each(func(values []string, n int64) {
+		s.RejectedByReason[values[0]] = n
+		s.Rejected += n
+	})
 	if s.Completed > 0 {
 		s.LatencyAvgMS = m.latency.Sum() / float64(s.Completed) * 1e3
 		s.TruncationRate = float64(s.Truncated) / float64(s.Completed)
@@ -187,6 +215,8 @@ func (m *metrics) snapshot() Stats {
 	})
 	counts := make(map[string]int64)
 	m.instanceReqs.Each(func(values []string, n int64) { counts[values[0]] = n })
+	inflight := make(map[string]int64)
+	m.instanceInflight.Each(func(values []string, n int64) { inflight[values[0]] = n })
 	for _, e := range m.cat.List() { // List is sorted by name
 		s.PerInstance = append(s.PerInstance, InstanceCount{
 			Instance:         e.Name,
@@ -196,6 +226,7 @@ func (m *metrics) snapshot() Stats {
 			Corridors:        e.Info.Corridors,
 			CompressionRatio: e.Info.CompressionRatio,
 			Requests:         counts[e.Name],
+			Inflight:         inflight[e.Name],
 		})
 	}
 	return s

@@ -60,9 +60,12 @@ func TestMetricsEndpoint(t *testing.T) {
 		"mroamd_solve_latency_seconds_count 4",
 		"mroamd_solve_regret_count 4",
 		"# TYPE mroamd_solve_latency_seconds histogram",
-		"mroamd_requests_rejected_total 0",
+		`mroamd_requests_rejected_total{reason="capacity"} 0`,
+		`mroamd_requests_rejected_total{reason="deadline_infeasible"} 0`,
+		`mroamd_requests_rejected_total{reason="fairness"} 0`,
 		"mroamd_gain_cache_events_total{event=",
 		"mroamd_queue_depth 0",
+		`mroamd_instance_inflight{instance="default"} 0`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("exposition missing %q:\n%s", want, text)

@@ -65,6 +65,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"strconv"
 	"time"
 
 	"repro/internal/catalog"
@@ -102,6 +103,16 @@ type Config struct {
 	// ratio), and identical concurrent requests coalesce onto one
 	// in-flight solve. 0 (the default) disables caching entirely.
 	CacheEntries int
+	// Admission selects the admission policy: AdmitShed (the default,
+	// byte-identical to the pre-policy server), AdmitDeadline (shed
+	// requests whose deadline the queue provably cannot meet at the
+	// current drain rate) or AdmitFair (cap any one instance's share of
+	// the admission capacity). Empty selects AdmitShed.
+	Admission string
+	// FairShare caps how many admission slots (queued + executing
+	// requests) one instance may hold under AdmitFair. Values < 1 select
+	// half the total capacity, rounded up. Ignored by the other policies.
+	FairShare int
 	// Logger receives one structured record per /solve request plus
 	// lifecycle events. nil discards everything. A logger whose level
 	// admits Debug additionally gets per-restart solver trace events.
@@ -126,6 +137,7 @@ type Server struct {
 	workers chan struct{} // execution tokens: capacity Workers
 	metrics *metrics
 	cache   *solvecache.Cache // nil when Config.CacheEntries == 0
+	adm     *admission
 }
 
 // New validates cfg and returns a ready-to-serve Server.
@@ -145,6 +157,16 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxRestarts < 1 {
 		cfg.MaxRestarts = DefaultMaxRestarts
 	}
+	if cfg.Admission == "" {
+		cfg.Admission = AdmitShed
+	}
+	if !validPolicy(cfg.Admission) {
+		return nil, fmt.Errorf("server: unknown admission policy %q (want %s, %s or %s)",
+			cfg.Admission, AdmitShed, AdmitDeadline, AdmitFair)
+	}
+	if cfg.FairShare < 1 {
+		cfg.FairShare = DefaultFairShare(cfg.Workers + cfg.QueueDepth)
+	}
 	if cfg.solve == nil {
 		cfg.solve = core.SolveAnytime
 	}
@@ -159,6 +181,12 @@ func New(cfg Config) (*Server, error) {
 		queue:   make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 		workers: make(chan struct{}, cfg.Workers),
 		metrics: newMetrics(cfg.Catalog),
+		adm: &admission{
+			policy:    cfg.Admission,
+			workers:   cfg.Workers,
+			capacity:  cfg.Workers + cfg.QueueDepth,
+			fairShare: cfg.FairShare,
+		},
 	}
 	s.metrics.reg.GaugeFunc("mroamd_queue_depth",
 		"Admitted requests currently queued or executing.",
@@ -392,14 +420,49 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	// Admission: take a queue token without blocking, or shed load now.
+	// Admission. Every shed answers 429 with the reason labeled on the
+	// rejection counter, echoed in X-Reject-Reason, and a Retry-After hint
+	// derived from the current queue drain rate (backlog × mean worker-hold
+	// time ÷ workers; 1s before any request has completed).
+	reject := func(reason, format string, args ...any) {
+		s.metrics.rejected.With(reason).Inc()
+		w.Header().Set("X-Reject-Reason", reason)
+		w.Header().Set("Retry-After",
+			strconv.Itoa(retryAfterSeconds(len(s.queue), s.adm.workers, s.adm.serviceEstimate())))
+		fail(http.StatusTooManyRequests, format, args...)
+	}
+
+	// Per-instance occupancy: reserve the slot first (Add returns the new
+	// value, so reservation and the fair-share check are one atomic step —
+	// occupancy above the cap is never admitted), release it when the
+	// request unwinds, whatever the outcome.
+	inflight := s.metrics.instanceInflight.With(entry.Name)
+	if n := inflight.Add(1); s.adm.policy == AdmitFair && n > int64(s.adm.fairShare) {
+		inflight.Add(-1)
+		reject(rejectFairness, "instance %q already holds its fair share (%d) of admission slots",
+			entry.Name, s.adm.fairShare)
+		return
+	}
+	defer inflight.Add(-1)
+
+	// Deadline feasibility: shed a request whose solve budget would already
+	// be spent by the time the current backlog drains to a worker, instead
+	// of queueing it toward a degenerate truncated answer.
+	if s.adm.policy == AdmitDeadline {
+		if queued, svc := len(s.queue), s.adm.serviceEstimate(); !DeadlineFeasible(deadline, queued, s.adm.workers, svc) {
+			reject(rejectDeadlineInfeasible,
+				"deadline %v infeasible: estimated queue wait %v (%d queued, %d workers, ~%v per solve)",
+				deadline, EstimatedQueueWait(queued, s.adm.workers, svc), queued, s.adm.workers, svc)
+			return
+		}
+	}
+
+	// Take a queue token without blocking, or shed load now.
 	select {
 	case s.queue <- struct{}{}:
 		defer func() { <-s.queue }()
 	default:
-		s.metrics.rejected.Inc()
-		w.Header().Set("Retry-After", "1")
-		fail(http.StatusTooManyRequests, "solver queue full")
+		reject(rejectCapacity, "solver queue full")
 		return
 	}
 
@@ -452,6 +515,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		res = s.cfg.solve(ctx, alg, entry.Instance)
 	}
 	latency := time.Since(start)
+	// However the result was produced, this request held a worker slot for
+	// `latency`: fold it into the drain-rate estimate behind deadline
+	// feasibility and Retry-After.
+	s.adm.observeService(latency)
 
 	// A client that hung up mid-solve never saw an answer: count it as
 	// abandoned and answer 499, exactly like a disconnect in the queue —
@@ -545,6 +612,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"workers":     s.cfg.Workers,
 		"queue_depth": s.cfg.QueueDepth,
 		"instances":   s.catalog.Len(),
+		"admission":   s.adm.policy,
+		"fair_share":  s.adm.fairShare,
 	}
 	// billboards/advertisers report the default instance's dimensions, as
 	// they did when the server held exactly one instance.
@@ -650,6 +719,7 @@ func (s *Server) handleInstanceDelete(w http.ResponseWriter, r *http.Request) {
 	// Retire the deleted instance's metric series; if the name is ever
 	// reloaded its counter restarts at zero (the Prometheus reset semantic).
 	s.metrics.instanceReqs.Delete(name)
+	s.metrics.instanceInflight.Delete(name)
 	if s.cache != nil {
 		s.cache.InvalidateInstance(name)
 	}
@@ -663,5 +733,5 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	writeJSON(w, http.StatusOK, s.metrics.snapshot())
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(len(s.queue)))
 }

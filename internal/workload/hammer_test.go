@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestHotSwapLoadHammer mixes hot-swap reloads with open-loop harness
+// traffic across every admission policy — the race-detector workout the
+// load layer rides on (`make test-race` runs it under -race). Every request
+// must classify cleanly (in-flight solves finish on their admission-time
+// snapshot, so reloads never surface as errors), and the server must not
+// leak goroutines once the storm passes.
+func TestHotSwapLoadHammer(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for _, policy := range []string{server.AdmitShed, server.AdmitDeadline, server.AdmitFair} {
+		t.Run(policy, func(t *testing.T) {
+			ts := bootServer(t, server.Config{
+				Catalog:      harnessCatalog(t, "default", "swap"),
+				Workers:      2,
+				QueueDepth:   2,
+				Admission:    policy,
+				CacheEntries: 16,
+			})
+
+			trace, err := Generate(Config{
+				Seed:        uint64(1 + len(policy)),
+				Duration:    500 * time.Millisecond,
+				Rate:        200,
+				Arrival:     ArrivalBurst,
+				Instances:   []string{"", "swap"},
+				Algorithms:  []string{"G-Order", "BLS"},
+				DeadlinesMS: []int64{0, 10, 50},
+				Restarts:    2,
+				SolveSeeds:  4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+
+			// Reload the "swap" instance repeatedly while the trace replays.
+			swaps := make(chan error, 1)
+			go func() {
+				defer close(swaps)
+				for gen := 0; gen < 3; gen++ {
+					body := fmt.Sprintf(`{"city":"NYC","scale":0.01,"seed":%d,"alpha":2.0,"p":0.1}`, gen+1)
+					req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+						ts.URL+"/instances/swap", strings.NewReader(body))
+					if err != nil {
+						swaps <- err
+						return
+					}
+					resp, err := ts.Client().Do(req)
+					if err != nil {
+						swaps <- err
+						return
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						swaps <- fmt.Errorf("hot swap %d: status %d", gen, resp.StatusCode)
+						return
+					}
+					time.Sleep(100 * time.Millisecond)
+				}
+			}()
+
+			results := Run(ctx, ts.URL, trace, ts.Client())
+			if err := <-swaps; err != nil {
+				t.Fatal(err)
+			}
+
+			served := 0
+			for i, r := range results {
+				switch r.Outcome {
+				case OutcomeServed, OutcomeServedTruncated:
+					served++
+				case OutcomeShedCapacity, OutcomeShedDeadline, OutcomeShedFairness:
+				default:
+					t.Fatalf("request %d: outcome %q (%s)", i, r.Outcome, r.Err)
+				}
+			}
+			if served == 0 {
+				t.Fatal("hammer served nothing")
+			}
+		})
+	}
+	waitNoGoroutineLeak(t, baseline)
+}

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"sort"
+	"time"
+)
+
+// LatencySummary summarizes observed response latencies over one class of
+// results.
+type LatencySummary struct {
+	Count int     `json:"count"`
+	AvgMS float64 `json:"avg_ms"`
+	P50MS float64 `json:"p50_ms"`
+	P90MS float64 `json:"p90_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"`
+}
+
+// summarizeLatency computes the summary over every result with a 200
+// status. Percentiles use the nearest-rank method on the sorted sample.
+func summarizeLatency(results []Result) LatencySummary {
+	var ms []float64
+	var sum float64
+	for _, r := range results {
+		if r.Status != 200 {
+			continue
+		}
+		ms = append(ms, r.LatencyMS)
+		sum += r.LatencyMS
+	}
+	if len(ms) == 0 {
+		return LatencySummary{}
+	}
+	sort.Float64s(ms)
+	rank := func(q float64) float64 {
+		i := int(q*float64(len(ms))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(ms) {
+			i = len(ms) - 1
+		}
+		return ms[i]
+	}
+	return LatencySummary{
+		Count: len(ms),
+		AvgMS: sum / float64(len(ms)),
+		P50MS: rank(0.50),
+		P90MS: rank(0.90),
+		P99MS: rank(0.99),
+		MaxMS: ms[len(ms)-1],
+	}
+}
+
+// Report is the per-run JSON document mroamload emits: the reproducible
+// identity of the workload (config + trace digest), the observed outcome
+// and latency distributions, and the counterfactual-regret summary pricing
+// the run under the admission policies the server did not use.
+type Report struct {
+	Target string `json:"target,omitempty"`
+	// Policy is the admission policy the server actually ran.
+	Policy string `json:"policy"`
+	Config Config `json:"config"`
+	// TraceSHA256 identifies the exact request sequence; two reports with
+	// equal Configs must carry equal digests (the determinism contract).
+	TraceSHA256 string `json:"trace_sha256"`
+	Requests    int    `json:"requests"`
+	// WallMS is the observed wall-clock span of the replay.
+	WallMS   float64        `json:"wall_ms"`
+	Outcomes map[string]int `json:"outcomes"`
+	Latency  LatencySummary `json:"latency"`
+	// SolveRegretAvg is the mean solver objective (the paper's total
+	// regret) over served responses — the quality axis the admission
+	// policies trade against availability.
+	SolveRegretAvg float64 `json:"solve_regret_avg,omitempty"`
+	// Server echoes the deployment the counterfactuals are priced against.
+	Server ServerParams `json:"server"`
+	// Service is the measured service model the simulator ran on.
+	Service ServiceModel `json:"service_model"`
+	// ActualMeanCost is the replay's own cost under the counterfactual
+	// cost model, for comparison against the simulated baselines.
+	ActualMeanCost  float64          `json:"actual_mean_cost"`
+	Counterfactuals []Counterfactual `json:"counterfactuals"`
+}
+
+// BuildReport assembles the Report for one replay: it fits the service
+// model from the observed results, prices the run under every alternative
+// admission policy, and aggregates outcomes and latencies.
+func BuildReport(cfg Config, trace Trace, results []Result, params ServerParams, wall time.Duration) Report {
+	rep := Report{
+		Policy:      params.Policy,
+		Config:      cfg,
+		TraceSHA256: trace.SHA256(),
+		Requests:    len(trace),
+		WallMS:      float64(wall) / float64(time.Millisecond),
+		Outcomes:    make(map[string]int, 4),
+		Latency:     summarizeLatency(results),
+		Server:      params,
+	}
+	var regretSum float64
+	var regretN int
+	for _, r := range results {
+		rep.Outcomes[r.Outcome]++
+		if r.Status == 200 {
+			regretSum += r.TotalRegret
+			regretN++
+		}
+		rep.ActualMeanCost += actualCost(r)
+	}
+	if regretN > 0 {
+		rep.SolveRegretAvg = regretSum / float64(regretN)
+	}
+	if len(results) > 0 {
+		rep.ActualMeanCost /= float64(len(results))
+	}
+	rep.Service = MeasureServiceModel(trace, results)
+	rep.Counterfactuals = Compare(trace, params, rep.Service)
+	return rep
+}
+
+// actualCost prices one observed result on the simulator's cost model so
+// the replay and its counterfactuals are comparable. Observed truncations
+// don't expose a delivered fraction, so they are priced at the model's
+// worst served case short of full loss.
+func actualCost(r Result) float64 {
+	switch r.Outcome {
+	case OutcomeServed:
+		return 0
+	case OutcomeServedTruncated:
+		return 0.5
+	case OutcomeError:
+		return 1
+	default: // every shed_* outcome
+		return ShedCost
+	}
+}

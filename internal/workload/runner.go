@@ -1,0 +1,210 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Outcome labels for replay results. Shed outcomes carry the server's
+// X-Reject-Reason so a run's outcome histogram shows which admission rule
+// fired, not just that a 429 happened.
+const (
+	OutcomeServed          = "served"
+	OutcomeServedTruncated = "served_truncated"
+	OutcomeShedCapacity    = "shed_capacity"
+	OutcomeShedDeadline    = "shed_deadline_infeasible"
+	OutcomeShedFairness    = "shed_fairness"
+	OutcomeError           = "error"
+)
+
+// Result is one replayed request's observed outcome.
+type Result struct {
+	Index   int    `json:"i"`
+	Status  int    `json:"status"`
+	Outcome string `json:"outcome"`
+	// LatencyMS is wall-clock time from issuing the request to reading the
+	// full response body.
+	LatencyMS float64 `json:"latency_ms"`
+	// Cached marks 200s answered from the server's solve cache; cached
+	// latencies are excluded from the measured service model because they
+	// never held a worker slot.
+	Cached bool `json:"cached,omitempty"`
+	// Truncated mirrors the response's truncated flag on 200s.
+	Truncated bool `json:"truncated,omitempty"`
+	// TotalRegret is the solve's objective value on 200s, tying the
+	// serving-layer report back to the paper's metric.
+	TotalRegret float64 `json:"total_regret,omitempty"`
+	// RetryAfterS echoes the Retry-After header on 429s.
+	RetryAfterS int `json:"retry_after_s,omitempty"`
+	// Err carries the transport or decode error on OutcomeError results.
+	Err string `json:"err,omitempty"`
+}
+
+// Run replays the trace open-loop against the mroamd at baseURL: each
+// request is issued at its trace timestamp on its own goroutine, regardless
+// of whether earlier requests have returned. The returned slice is indexed
+// by Request.Index. Run blocks until every request has completed or ctx is
+// done; a canceled context marks unissued and in-flight requests as errors
+// rather than dropping them.
+func Run(ctx context.Context, baseURL string, trace Trace, client *http.Client) []Result {
+	if client == nil {
+		client = &http.Client{Timeout: 2 * time.Minute}
+	}
+	results := make([]Result, len(trace))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, req := range trace {
+		wg.Add(1)
+		go func(i int, req Request) {
+			defer wg.Done()
+			if !sleepUntil(ctx, start.Add(req.At())) {
+				results[i] = Result{Index: req.Index, Outcome: OutcomeError, Err: ctx.Err().Error()}
+				return
+			}
+			results[i] = issue(ctx, client, baseURL, req)
+		}(i, req)
+	}
+	wg.Wait()
+	return results
+}
+
+// sleepUntil blocks until the deadline or ctx cancellation; it reports
+// whether the deadline was reached.
+func sleepUntil(ctx context.Context, at time.Time) bool {
+	d := time.Until(at)
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// issue sends one trace request and classifies the response.
+func issue(ctx context.Context, client *http.Client, baseURL string, req Request) Result {
+	res := Result{Index: req.Index}
+	body, err := json.Marshal(server.SolveRequest{
+		Instance:   req.Instance,
+		Algorithm:  req.Algorithm,
+		Seed:       req.Seed,
+		Restarts:   req.Restarts,
+		DeadlineMS: req.DeadlineMS,
+	})
+	if err != nil {
+		res.Outcome, res.Err = OutcomeError, err.Error()
+		return res
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/solve", bytes.NewReader(body))
+	if err != nil {
+		res.Outcome, res.Err = OutcomeError, err.Error()
+		return res
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+
+	issued := time.Now()
+	resp, err := client.Do(httpReq)
+	if err != nil {
+		res.Outcome, res.Err = OutcomeError, err.Error()
+		return res
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	res.LatencyMS = float64(time.Since(issued)) / float64(time.Millisecond)
+	res.Status = resp.StatusCode
+	if err != nil {
+		res.Outcome, res.Err = OutcomeError, err.Error()
+		return res
+	}
+
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var sr server.SolveResponse
+		if err := json.Unmarshal(raw, &sr); err != nil {
+			res.Outcome, res.Err = OutcomeError, err.Error()
+			return res
+		}
+		res.Cached, res.Truncated, res.TotalRegret = sr.Cached, sr.Truncated, sr.TotalRegret
+		res.Outcome = OutcomeServed
+		if sr.Truncated {
+			res.Outcome = OutcomeServedTruncated
+		}
+	case http.StatusTooManyRequests:
+		reason := resp.Header.Get("X-Reject-Reason")
+		if reason == "" {
+			reason = "capacity" // pre-policy servers send bare 429s
+		}
+		res.Outcome = "shed_" + reason
+		if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+			res.RetryAfterS = s
+		}
+	default:
+		res.Outcome = OutcomeError
+		res.Err = fmt.Sprintf("status %d: %s", resp.StatusCode, truncateErr(raw))
+	}
+	return res
+}
+
+func truncateErr(b []byte) string {
+	const max = 200
+	if len(b) > max {
+		b = b[:max]
+	}
+	return string(b)
+}
+
+// ServerParams is the admission-relevant server configuration, read from
+// /healthz so the counterfactual simulator prices alternatives against the
+// deployment that actually served the run.
+type ServerParams struct {
+	Workers    int    `json:"workers"`
+	QueueDepth int    `json:"queue_depth"`
+	Policy     string `json:"admission"`
+	FairShare  int    `json:"fair_share"`
+}
+
+// Capacity is the total number of admission tokens: executing plus queued.
+func (p ServerParams) Capacity() int { return p.Workers + p.QueueDepth }
+
+// FetchServerParams reads ServerParams from the server's /healthz document.
+func FetchServerParams(ctx context.Context, baseURL string, client *http.Client) (ServerParams, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/healthz", nil)
+	if err != nil {
+		return ServerParams{}, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return ServerParams{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ServerParams{}, fmt.Errorf("healthz: status %d", resp.StatusCode)
+	}
+	var p ServerParams
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		return ServerParams{}, fmt.Errorf("healthz: %w", err)
+	}
+	if p.Workers < 1 {
+		return ServerParams{}, fmt.Errorf("healthz: no worker count in response")
+	}
+	if p.Policy == "" {
+		p.Policy = server.AdmitShed
+	}
+	return p, nil
+}

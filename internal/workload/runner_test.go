@@ -1,0 +1,241 @@
+package workload
+
+import (
+	"context"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/coverage"
+	"repro/internal/rng"
+	"repro/internal/server"
+)
+
+// harnessInstance builds a small deterministic instance, the same synthesis
+// the server suite uses (the helpers are not exported across packages).
+func harnessInstance(tb testing.TB, nTraj, nBB, nAdv int) *core.Instance {
+	tb.Helper()
+	r := rng.New(11)
+	lists := make([]coverage.List, nBB)
+	for b := range lists {
+		deg := 1 + r.Intn(nTraj/3+1)
+		ids := make([]int32, deg)
+		for i := range ids {
+			ids[i] = int32(r.Intn(nTraj))
+		}
+		lists[b] = coverage.NewList(ids)
+	}
+	u, err := coverage.NewUniverse(nTraj, lists)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	per := 1.1 * float64(u.TotalSupply()) / float64(nAdv)
+	advs := make([]core.Advertiser, nAdv)
+	for i := range advs {
+		d := int64(per * r.Range(0.8, 1.2))
+		if d < 1 {
+			d = 1
+		}
+		advs[i] = core.Advertiser{Demand: d, Payment: float64(d)}
+	}
+	inst, err := core.NewInstance(u, advs, 0.5)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return inst
+}
+
+func harnessCatalog(tb testing.TB, names ...string) *catalog.Catalog {
+	tb.Helper()
+	c := catalog.New()
+	if len(names) == 0 {
+		names = []string{"default"}
+	}
+	for _, name := range names {
+		if _, err := c.AddInstance(name, harnessInstance(tb, 120, 16, 3)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return c
+}
+
+func bootServer(tb testing.TB, cfg server.Config) *httptest.Server {
+	tb.Helper()
+	s, err := server.New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	tb.Cleanup(ts.Close)
+	return ts
+}
+
+// TestRunReportEndToEnd replays a short seeded workload against a live
+// server and checks the full pipeline: every request classified, the report
+// internally consistent, and the counterfactual summary present for both
+// alternative policies.
+func TestRunReportEndToEnd(t *testing.T) {
+	ts := bootServer(t, server.Config{Catalog: harnessCatalog(t), Workers: 2, QueueDepth: 4})
+
+	cfg := Config{
+		Seed:       42,
+		Duration:   400 * time.Millisecond,
+		Rate:       100,
+		Algorithms: []string{"G-Order"},
+	}
+	trace, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	params, err := FetchServerParams(ctx, ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if params.Workers != 2 || params.Policy != server.AdmitShed {
+		t.Fatalf("healthz params %+v", params)
+	}
+
+	start := time.Now()
+	results := Run(ctx, ts.URL, trace, ts.Client())
+	rep := BuildReport(cfg, trace, results, params, time.Since(start))
+
+	if len(results) != len(trace) {
+		t.Fatalf("%d results for %d requests", len(results), len(trace))
+	}
+	served := 0
+	for i, r := range results {
+		if r.Index != trace[i].Index {
+			t.Fatalf("result %d misjoined: index %d", i, r.Index)
+		}
+		if r.Outcome == OutcomeError {
+			t.Fatalf("request %d errored: %s", i, r.Err)
+		}
+		if r.Status == 200 {
+			served++
+			if r.LatencyMS <= 0 {
+				t.Fatalf("request %d served with non-positive latency", i)
+			}
+		}
+	}
+	if served == 0 {
+		t.Fatal("no request was served")
+	}
+
+	if rep.TraceSHA256 != trace.SHA256() {
+		t.Error("report digest does not match trace")
+	}
+	if rep.Requests != len(trace) {
+		t.Errorf("report requests %d, want %d", rep.Requests, len(trace))
+	}
+	total := 0
+	for _, n := range rep.Outcomes {
+		total += n
+	}
+	if total != len(trace) {
+		t.Errorf("report outcomes sum to %d, want %d", total, len(trace))
+	}
+	if rep.Latency.Count != served || rep.Latency.P50MS <= 0 || rep.Latency.MaxMS < rep.Latency.P99MS {
+		t.Errorf("latency summary inconsistent: %+v", rep.Latency)
+	}
+	if len(rep.Counterfactuals) != 2 {
+		t.Fatalf("%d counterfactuals, want 2", len(rep.Counterfactuals))
+	}
+	for _, cf := range rep.Counterfactuals {
+		if cf.Baseline != server.AdmitShed || cf.Alternative == server.AdmitShed {
+			t.Errorf("counterfactual compares %q to %q", cf.Baseline, cf.Alternative)
+		}
+		altTotal := 0
+		for _, n := range cf.AlternativeOutcomes {
+			altTotal += n
+		}
+		if altTotal != len(trace) {
+			t.Errorf("alternative %q outcomes sum to %d, want %d", cf.Alternative, altTotal, len(trace))
+		}
+	}
+	if rep.Service.DefaultMS <= 0 {
+		t.Errorf("measured service model empty: %+v", rep.Service)
+	}
+}
+
+// TestRunClassifiesCapacitySheds floods a capacity-1 server with
+// simultaneous arrivals: sheds must come back labeled shed_capacity with a
+// positive Retry-After.
+func TestRunClassifiesCapacitySheds(t *testing.T) {
+	ts := bootServer(t, server.Config{Catalog: harnessCatalog(t), Workers: 1, QueueDepth: 0})
+
+	// Restarts are set high enough that each solve holds the single worker
+	// far longer than the goroutine launch stagger, so the simultaneous
+	// arrivals genuinely overlap and the excess must shed.
+	trace := make(Trace, 60)
+	for i := range trace {
+		trace[i] = Request{Index: i, AtMS: 0, Algorithm: "BLS", Seed: uint64(i), Restarts: 400}
+	}
+	results := Run(context.Background(), ts.URL, trace, ts.Client())
+
+	sheds := 0
+	for _, r := range results {
+		switch r.Outcome {
+		case OutcomeShedCapacity:
+			sheds++
+			if r.RetryAfterS < 1 {
+				t.Fatalf("shed without Retry-After: %+v", r)
+			}
+		case OutcomeServed, OutcomeServedTruncated:
+		default:
+			t.Fatalf("unexpected outcome %q: %+v", r.Outcome, r)
+		}
+	}
+	if sheds == 0 {
+		t.Fatal("60 simultaneous requests against capacity 1 produced no sheds")
+	}
+}
+
+// TestRunHonorsContext: canceling mid-replay marks the unissued tail as
+// errors instead of hanging or dropping results.
+func TestRunHonorsContext(t *testing.T) {
+	ts := bootServer(t, server.Config{Catalog: harnessCatalog(t), Workers: 1})
+
+	trace := Trace{
+		{Index: 0, AtMS: 0, Algorithm: "G-Order", Seed: 1},
+		{Index: 1, AtMS: 10_000, Algorithm: "G-Order", Seed: 1}, // far future
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(200 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan []Result, 1)
+	go func() { done <- Run(ctx, ts.URL, trace, ts.Client()) }()
+	select {
+	case results := <-done:
+		if results[1].Outcome != OutcomeError {
+			t.Fatalf("canceled request classified as %q", results[1].Outcome)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+}
+
+// waitNoGoroutineLeak mirrors the server suite's leak check for harness
+// tests.
+func waitNoGoroutineLeak(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,310 @@
+// Package workload is mroamd's reproducible traffic harness: a seeded
+// open-loop trace generator, an HTTP replay runner, and a counterfactual
+// admission simulator that prices each recorded run under the admission
+// policies the server did NOT use.
+//
+// The determinism contract: Generate consumes randomness only from
+// rng.Derive substreams of Config.Seed — never from wall time, goroutine
+// scheduling or map iteration — so equal Configs yield byte-identical JSONL
+// traces (pinned by TestGenerateByteIdentical and the `make load-smoke`
+// gate). Replay timing and measured latencies naturally vary run to run;
+// everything derived purely from the trace, the counterfactual simulation
+// included, does not.
+//
+// The load is open-loop: request i is issued at its trace timestamp
+// regardless of whether earlier requests have completed, so a slow server
+// accumulates queueing pressure instead of silently throttling the
+// generator — exactly the regime where admission policy choices matter.
+package workload
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Arrival process names for Config.Arrival.
+const (
+	// ArrivalPoisson issues requests with exponential inter-arrival times
+	// at constant mean rate — the classic open-loop model.
+	ArrivalPoisson = "poisson"
+	// ArrivalBurst is a piecewise-constant-rate Poisson process: each
+	// BurstPeriod spends BurstDuty of its length at BurstFactor× the mean
+	// rate and the remainder at a compensating low rate, stressing
+	// admission with recurring overload spikes.
+	ArrivalBurst = "burst"
+	// ArrivalUniform spaces requests exactly 1/Rate apart — no randomness
+	// in timing, useful for debugging.
+	ArrivalUniform = "uniform"
+)
+
+// Defaults applied by Config.withDefaults.
+const (
+	DefaultBurstFactor = 4.0
+	DefaultBurstDuty   = 0.25
+	DefaultBurstPeriod = time.Second
+	DefaultSolveSeeds  = 8
+	DefaultMaxRequests = 100_000
+)
+
+// DefaultAlgorithms is the request mix when Config.Algorithms is empty: the
+// two greedy baselines plus BLS, the paper's headline anytime solver.
+var DefaultAlgorithms = []string{"G-Order", "G-Global", "BLS"}
+
+// Config describes one reproducible workload. The zero value is not
+// runnable; Rate and Duration are required.
+type Config struct {
+	// Seed roots every random choice the generator makes.
+	Seed uint64 `json:"seed"`
+	// Duration is the span of the arrival process; requests are generated
+	// with timestamps in [0, Duration).
+	Duration time.Duration `json:"duration_ns"`
+	// Rate is the mean arrival rate in requests per second.
+	Rate float64 `json:"rate"`
+	// Arrival selects the arrival process; empty selects ArrivalPoisson.
+	Arrival string `json:"arrival"`
+
+	// BurstFactor, BurstDuty and BurstPeriod shape ArrivalBurst: each
+	// period spends duty×period at factor×Rate and the rest at a rate
+	// chosen so the long-run mean stays Rate (floored at zero when
+	// factor×duty ≥ 1). Ignored by the other processes.
+	BurstFactor float64       `json:"burst_factor,omitempty"`
+	BurstDuty   float64       `json:"burst_duty,omitempty"`
+	BurstPeriod time.Duration `json:"burst_period_ns,omitempty"`
+
+	// Instances is the pool of catalog instance names requests draw from,
+	// uniformly. Empty means every request targets the server's default
+	// instance (the trace's instance field stays empty).
+	Instances []string `json:"instances,omitempty"`
+	// Algorithms is the pool of solver names requests draw from,
+	// uniformly. Empty selects DefaultAlgorithms.
+	Algorithms []string `json:"algorithms,omitempty"`
+	// DeadlinesMS is the pool of per-request solve deadlines, drawn
+	// uniformly; a 0 entry means "no deadline". Empty means no request
+	// carries a deadline.
+	DeadlinesMS []int64 `json:"deadlines_ms,omitempty"`
+	// Restarts is the restart budget stamped on every request (0 selects
+	// the server default).
+	Restarts int `json:"restarts,omitempty"`
+	// SolveSeeds is how many distinct solver seeds the mix draws from
+	// (seeds 1..SolveSeeds); values < 1 select DefaultSolveSeeds. Small
+	// pools exercise the solve cache, large pools defeat it.
+	SolveSeeds int `json:"solve_seeds,omitempty"`
+	// MaxRequests caps the trace length as a guard against accidental
+	// rate×duration blowups; values < 1 select DefaultMaxRequests.
+	MaxRequests int `json:"max_requests,omitempty"`
+}
+
+func (c Config) withDefaults() Config {
+	if c.Arrival == "" {
+		c.Arrival = ArrivalPoisson
+	}
+	if c.BurstFactor == 0 {
+		c.BurstFactor = DefaultBurstFactor
+	}
+	if c.BurstDuty == 0 {
+		c.BurstDuty = DefaultBurstDuty
+	}
+	if c.BurstPeriod == 0 {
+		c.BurstPeriod = DefaultBurstPeriod
+	}
+	if len(c.Algorithms) == 0 {
+		c.Algorithms = DefaultAlgorithms
+	}
+	if c.SolveSeeds < 1 {
+		c.SolveSeeds = DefaultSolveSeeds
+	}
+	if c.MaxRequests < 1 {
+		c.MaxRequests = DefaultMaxRequests
+	}
+	return c
+}
+
+// Validate reports the first problem that would make the Config
+// ungenerable. It validates the pre-default view, so zero optional fields
+// are fine.
+func (c Config) Validate() error {
+	if c.Rate <= 0 {
+		return fmt.Errorf("workload: Rate must be positive, got %v", c.Rate)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("workload: Duration must be positive, got %v", c.Duration)
+	}
+	switch c.Arrival {
+	case "", ArrivalPoisson, ArrivalBurst, ArrivalUniform:
+	default:
+		return fmt.Errorf("workload: unknown arrival process %q (want %s, %s or %s)",
+			c.Arrival, ArrivalPoisson, ArrivalBurst, ArrivalUniform)
+	}
+	if c.BurstFactor < 0 || (c.Arrival == ArrivalBurst && c.BurstFactor != 0 && c.BurstFactor < 1) {
+		return fmt.Errorf("workload: BurstFactor must be ≥ 1, got %v", c.BurstFactor)
+	}
+	if c.BurstDuty < 0 || c.BurstDuty >= 1 {
+		return fmt.Errorf("workload: BurstDuty must be in [0, 1), got %v", c.BurstDuty)
+	}
+	for _, d := range c.DeadlinesMS {
+		if d < 0 {
+			return fmt.Errorf("workload: negative deadline %dms", d)
+		}
+	}
+	return nil
+}
+
+// Request is one trace entry: when to issue it and what to ask the server.
+// The JSON field order is the serialization contract for trace files — a
+// trace line is exactly one marshaled Request.
+type Request struct {
+	// Index is the request's position in the trace, echoed into results so
+	// replay outcomes can be joined back to trace entries.
+	Index int `json:"i"`
+	// AtMS is the issue time in milliseconds from run start, rounded to
+	// microsecond precision so traces are human-readable and
+	// representation-stable.
+	AtMS float64 `json:"at_ms"`
+	// Instance, Algorithm, Seed, Restarts and DeadlineMS mirror the
+	// corresponding server.SolveRequest fields.
+	Instance   string `json:"instance,omitempty"`
+	Algorithm  string `json:"algorithm"`
+	Seed       uint64 `json:"seed"`
+	Restarts   int    `json:"restarts,omitempty"`
+	DeadlineMS int64  `json:"deadline_ms,omitempty"`
+}
+
+// At returns the request's issue time as an offset from run start.
+func (r Request) At() time.Duration {
+	return time.Duration(r.AtMS * float64(time.Millisecond))
+}
+
+// Deadline returns the request's solve deadline (0 = none).
+func (r Request) Deadline() time.Duration {
+	return time.Duration(r.DeadlineMS) * time.Millisecond
+}
+
+// Trace is a generated request sequence, ordered by AtMS.
+type Trace []Request
+
+// Generate builds the deterministic trace cfg describes. Arrival times and
+// the per-request mix come from independent rng substreams, so e.g. adding
+// an algorithm to the mix does not perturb the timing sequence.
+func Generate(cfg Config) (Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+
+	arr := rng.New(cfg.Seed).Derive("arrivals")
+	mix := rng.New(cfg.Seed).Derive("mix")
+	next := arrivalProcess(cfg)
+	horizonMS := cfg.Duration.Seconds() * 1e3
+
+	var tr Trace
+	for t := next(0, arr); len(tr) < cfg.MaxRequests; t = next(t, arr) {
+		atMS := math.Round(t*1e6) / 1e3
+		// Bound the rounded timestamp, not the raw one, so a float sum that
+		// lands epsilon short of the horizon cannot round onto it.
+		if atMS >= horizonMS {
+			break
+		}
+		req := Request{
+			Index:     len(tr),
+			AtMS:      atMS,
+			Algorithm: cfg.Algorithms[mix.Intn(len(cfg.Algorithms))],
+			Seed:      uint64(mix.Intn(cfg.SolveSeeds)) + 1,
+			Restarts:  cfg.Restarts,
+		}
+		if len(cfg.Instances) > 0 {
+			req.Instance = cfg.Instances[mix.Intn(len(cfg.Instances))]
+		}
+		if len(cfg.DeadlinesMS) > 0 {
+			req.DeadlineMS = cfg.DeadlinesMS[mix.Intn(len(cfg.DeadlinesMS))]
+		}
+		tr = append(tr, req)
+	}
+	return tr, nil
+}
+
+// arrivalProcess returns the next-arrival function for cfg: given the
+// previous arrival time (seconds) and the timing stream, it returns the
+// next arrival time.
+func arrivalProcess(cfg Config) func(t float64, r *rng.RNG) float64 {
+	switch cfg.Arrival {
+	case ArrivalUniform:
+		gap := 1 / cfg.Rate
+		return func(t float64, _ *rng.RNG) float64 { return t + gap }
+	case ArrivalBurst:
+		return burstProcess(cfg)
+	default: // ArrivalPoisson
+		return func(t float64, r *rng.RNG) float64 { return t + expSample(r)/cfg.Rate }
+	}
+}
+
+// expSample draws a unit-rate exponential via inversion. Float64 is in
+// [0, 1), so 1−u is in (0, 1] and the log is finite.
+func expSample(r *rng.RNG) float64 {
+	return -math.Log(1 - r.Float64())
+}
+
+// burstProcess samples a Poisson process whose rate alternates between
+// factor×Rate (the first duty fraction of every period) and a low rate
+// chosen so the long-run mean is Rate. Sampling integrates a unit-rate
+// exponential through the piecewise-constant rate function, which is exact:
+// the burst trace is not a thinned approximation.
+func burstProcess(cfg Config) func(t float64, r *rng.RNG) float64 {
+	period := cfg.BurstPeriod.Seconds()
+	duty := cfg.BurstDuty
+	high := cfg.BurstFactor * cfg.Rate
+	// Mean over one period must be Rate: high·duty + low·(1−duty) = Rate.
+	low := cfg.Rate * (1 - cfg.BurstFactor*duty) / (1 - duty)
+	if low < 0 {
+		low = 0 // factor×duty ≥ 1: bursts alone exceed the mean; the lull is silent
+	}
+	return func(t float64, r *rng.RNG) float64 {
+		e := expSample(r)
+		for {
+			// Position within the current period decides the phase.
+			k := math.Floor(t / period)
+			pos := t - k*period
+			rate, phaseEnd := high, k*period+duty*period
+			if pos >= duty*period {
+				rate, phaseEnd = low, (k+1)*period
+			}
+			if rate > 0 {
+				if dt := e / rate; t+dt < phaseEnd {
+					return t + dt
+				}
+				e -= rate * (phaseEnd - t)
+			}
+			t = phaseEnd
+		}
+	}
+}
+
+// WriteJSONL writes the trace as one marshaled Request per line. The
+// encoding is deterministic: struct-order fields, shortest-form floats, no
+// maps anywhere.
+func (t Trace) WriteJSONL(w io.Writer) error {
+	for _, req := range t {
+		line, err := json.Marshal(req)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SHA256 returns the hex digest of the trace's JSONL serialization — the
+// identity two same-seed runs are asserted byte-identical under.
+func (t Trace) SHA256() string {
+	h := sha256.New()
+	t.WriteJSONL(h) // hash.Hash writes never fail
+	return hex.EncodeToString(h.Sum(nil))
+}

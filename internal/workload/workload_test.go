@@ -1,0 +1,210 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func baseConfig() Config {
+	return Config{
+		Seed:        7,
+		Duration:    2 * time.Second,
+		Rate:        200,
+		Instances:   []string{"", "sg"},
+		Algorithms:  []string{"G-Order", "BLS"},
+		DeadlinesMS: []int64{0, 20, 100},
+		Restarts:    2,
+	}
+}
+
+// TestGenerateByteIdentical pins the determinism contract: equal Configs
+// produce byte-identical JSONL traces (and equal SHA-256 digests), across
+// every arrival process; changing the seed changes the trace.
+func TestGenerateByteIdentical(t *testing.T) {
+	for _, arrival := range []string{ArrivalPoisson, ArrivalBurst, ArrivalUniform} {
+		cfg := baseConfig()
+		cfg.Arrival = arrival
+		a, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var bufA, bufB bytes.Buffer
+		if err := a.WriteJSONL(&bufA); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.WriteJSONL(&bufB); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+			t.Fatalf("%s: same config produced different traces", arrival)
+		}
+		if a.SHA256() != b.SHA256() {
+			t.Fatalf("%s: SHA mismatch on identical traces", arrival)
+		}
+		if len(a) == 0 {
+			t.Fatalf("%s: empty trace", arrival)
+		}
+
+		cfg.Seed = 8
+		c, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.SHA256() == a.SHA256() {
+			t.Fatalf("%s: different seeds produced identical traces", arrival)
+		}
+	}
+}
+
+// TestGenerateTimingAndMix: timestamps are nondecreasing and inside the
+// horizon, the realized rate is near the configured mean for every arrival
+// process, and every mix field draws only from its configured pool.
+func TestGenerateTimingAndMix(t *testing.T) {
+	for _, arrival := range []string{ArrivalPoisson, ArrivalBurst, ArrivalUniform} {
+		cfg := baseConfig()
+		cfg.Arrival = arrival
+		tr, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		horizon := cfg.Duration.Seconds() * 1e3
+		prev := -1.0
+		for _, r := range tr {
+			if r.AtMS < prev {
+				t.Fatalf("%s: timestamps regress: %v after %v", arrival, r.AtMS, prev)
+			}
+			prev = r.AtMS
+			if r.AtMS < 0 || r.AtMS >= horizon {
+				t.Fatalf("%s: timestamp %v outside [0, %v)", arrival, r.AtMS, horizon)
+			}
+			if !contains(cfg.Instances, r.Instance) {
+				t.Fatalf("%s: instance %q not in pool", arrival, r.Instance)
+			}
+			if !contains(cfg.Algorithms, r.Algorithm) {
+				t.Fatalf("%s: algorithm %q not in pool", arrival, r.Algorithm)
+			}
+			if r.Seed < 1 || r.Seed > DefaultSolveSeeds {
+				t.Fatalf("%s: solve seed %d outside 1..%d", arrival, r.Seed, DefaultSolveSeeds)
+			}
+			if r.DeadlineMS != 0 && r.DeadlineMS != 20 && r.DeadlineMS != 100 {
+				t.Fatalf("%s: deadline %dms not in pool", arrival, r.DeadlineMS)
+			}
+		}
+		want := cfg.Rate * cfg.Duration.Seconds()
+		if got := float64(len(tr)); math.Abs(got-want) > 0.35*want {
+			t.Errorf("%s: %v requests, want about %v", arrival, got, want)
+		}
+	}
+}
+
+// TestGenerateUniformSpacing: the uniform process is exactly periodic.
+func TestGenerateUniformSpacing(t *testing.T) {
+	cfg := Config{Seed: 1, Duration: time.Second, Rate: 100, Arrival: ArrivalUniform}
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range tr {
+		if want := float64(i+1) * 10; math.Abs(r.AtMS-want) > 0.01 {
+			t.Fatalf("request %d at %vms, want %vms", i, r.AtMS, want)
+		}
+	}
+}
+
+// TestGenerateBurstConcentratesArrivals: the burst process must put a
+// disproportionate share of arrivals inside the duty window of each period.
+func TestGenerateBurstConcentratesArrivals(t *testing.T) {
+	cfg := Config{Seed: 3, Duration: 5 * time.Second, Rate: 400, Arrival: ArrivalBurst,
+		BurstFactor: 4, BurstDuty: 0.25, BurstPeriod: time.Second}
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inBurst := 0
+	for _, r := range tr {
+		if pos := math.Mod(r.AtMS, 1000); pos < 250 {
+			inBurst++
+		}
+	}
+	// factor 4 × duty 0.25 means the bursts carry the entire mean rate;
+	// essentially all arrivals should land inside them.
+	if frac := float64(inBurst) / float64(len(tr)); frac < 0.9 {
+		t.Errorf("only %.0f%% of burst arrivals inside the duty window", 100*frac)
+	}
+}
+
+// TestGenerateMaxRequestsCap: the safety cap truncates runaway traces.
+func TestGenerateMaxRequestsCap(t *testing.T) {
+	cfg := Config{Seed: 1, Duration: 10 * time.Second, Rate: 1000, MaxRequests: 50}
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 50 {
+		t.Fatalf("cap ignored: %d requests", len(tr))
+	}
+}
+
+// TestTraceJSONLRoundTrip: a written trace decodes back to itself, line by
+// line.
+func TestTraceJSONLRoundTrip(t *testing.T) {
+	tr, err := Generate(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != len(tr) {
+		t.Fatalf("%d lines for %d requests", len(lines), len(tr))
+	}
+	for i, line := range lines {
+		var r Request
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if r != tr[i] {
+			t.Fatalf("line %d round-trips to %+v, want %+v", i, r, tr[i])
+		}
+	}
+}
+
+// TestConfigValidate rejects unrunnable configs with telling errors.
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"zero rate", Config{Duration: time.Second}, "Rate"},
+		{"zero duration", Config{Rate: 10}, "Duration"},
+		{"bad arrival", Config{Rate: 10, Duration: time.Second, Arrival: "sawtooth"}, "arrival"},
+		{"bad duty", Config{Rate: 10, Duration: time.Second, Arrival: ArrivalBurst, BurstDuty: 1}, "BurstDuty"},
+		{"bad factor", Config{Rate: 10, Duration: time.Second, Arrival: ArrivalBurst, BurstFactor: 0.5}, "BurstFactor"},
+		{"negative deadline", Config{Rate: 10, Duration: time.Second, DeadlinesMS: []int64{-1}}, "deadline"},
+	}
+	for _, tc := range cases {
+		if _, err := Generate(tc.cfg); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func contains(pool []string, v string) bool {
+	for _, p := range pool {
+		if p == v {
+			return true
+		}
+	}
+	return false
+}
