@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet fmt lint bench bench-json bench-serving scale-smoke repro examples clean check fuzz-smoke trace-demo catalog-demo cache-demo load-smoke
+.PHONY: all build test test-race vet fmt lint bench bench-json bench-serving scale-smoke repro examples clean check fuzz-smoke trace-demo catalog-demo cache-demo load-smoke trace-smoke
 
 all: build test
 
@@ -10,7 +10,7 @@ all: build test
 # suite, a short smoke run of every fuzz target, the serving demos
 # (multi-instance catalog, solve-result cache, reproducible load harness),
 # and the paper-scale coverage smoke.
-check: build lint test-race fuzz-smoke catalog-demo cache-demo load-smoke scale-smoke
+check: build lint test-race fuzz-smoke catalog-demo cache-demo load-smoke trace-smoke scale-smoke
 
 build:
 	$(GO) build ./...
@@ -135,6 +135,40 @@ load-smoke:
 		&& grep -q '"alternative": "fair"' /tmp/mroam-load-1.json \
 		|| { echo "load-smoke: report missing counterfactual summary"; exit 1; }
 	@wc -l < /tmp/mroam-load-1.jsonl | xargs echo "load-smoke: OK, byte-identical traces, requests:"
+
+# trace-smoke is the request-tracing gate in `check`: boot mroamd with the
+# span store enabled, replay a short seeded workload through mroamload with
+# -trace-check, and require that the slowest trace fetched back from
+# GET /debug/traces/{id} validates — a single request root covering at least
+# 4 lifecycle phases whose durations sum to the root within tolerance. The
+# report must also carry the Server-Timing phase attribution and the
+# daemon's /metrics must expose the new phase histograms.
+TRACE_SMOKE_ADDR ?= 127.0.0.1:18361
+trace-smoke:
+	@$(GO) build -o /tmp/mroamd-trace ./cmd/mroamd
+	@$(GO) build -o /tmp/mroamload-trace ./cmd/mroamload
+	@/tmp/mroamd-trace -addr $(TRACE_SMOKE_ADDR) -scale 0.02 -workers 2 -queue 4 \
+		-trace-store 256 -trace-keep-slowest 1 > /tmp/mroamd-trace.log 2>&1 & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	up=0; \
+	for i in $$(seq 1 100); do \
+		curl -sf http://$(TRACE_SMOKE_ADDR)/healthz >/dev/null && { up=1; break; }; \
+		sleep 0.2; \
+	done; \
+	[ $$up -eq 1 ] || { echo "trace-smoke: daemon never came up"; cat /tmp/mroamd-trace.log; exit 1; }; \
+	/tmp/mroamload-trace -target http://$(TRACE_SMOKE_ADDR) \
+		-seed 7 -duration 500ms -rate 40 -algorithms G-Order \
+		-trace-check 1 -o /tmp/mroam-trace-smoke.json \
+		|| { echo "trace-smoke: replay or trace validation failed"; exit 1; }; \
+	grep -q '"server_phases"' /tmp/mroam-trace-smoke.json \
+		&& grep -q '"trace_checks"' /tmp/mroam-trace-smoke.json \
+		|| { echo "trace-smoke: report missing phase attribution"; exit 1; }; \
+	curl -s http://$(TRACE_SMOKE_ADDR)/metrics \
+		| grep -q 'mroamd_solve_phase_seconds_count{phase="solve"}' \
+		|| { echo "trace-smoke: phase histogram missing from /metrics"; exit 1; }; \
+	grep -A1 '"trace_checks"' /tmp/mroam-trace-smoke.json | tail -1 | sed 's/^ *//;s/"//g'; \
+	echo "trace-smoke: OK (slowest trace validated end-to-end)"
 
 # One benchmark per table/figure of the paper plus ablations; see
 # EXPERIMENTS.md for a recorded run. -run=^$ skips the unit tests so the

@@ -11,6 +11,7 @@
 //	mroamd -addr :8080 -cache-entries 256
 //	mroamd -addr :8080 -admission deadline
 //	mroamd -addr :8080 -admission fair -fair-share 4
+//	mroamd -addr :8080 -trace-store 1024 -trace-keep-slowest 0.1
 //
 //	curl -s localhost:8080/solve -d '{"algorithm":"BLS","restarts":5,"deadline_ms":100}'
 //	curl -s localhost:8080/solve -d '{"instance":"sg","algorithm":"BLS"}'
@@ -18,6 +19,8 @@
 //	curl -s -X PUT localhost:8080/instances/sg -d '{"city":"SG","scale":0.25}'
 //	curl -s localhost:8080/stats
 //	curl -s localhost:8081/metrics
+//	curl -s 'localhost:8081/debug/traces?outcome=served&min_duration_ms=100'
+//	curl -s localhost:8081/debug/traces/4bf92f3577b34da6a3ce929d0e0e4736
 //
 // Without -instances the dataset/market flags describe a single instance
 // named "default", preserving the original single-instance behavior. With
@@ -47,6 +50,16 @@
 // answered from cache ("cached": true in the response) and identical
 // concurrent requests coalesce onto a single solver execution. Caching is
 // off by default, preserving the exact pre-cache behavior.
+//
+// Every /solve request is traced through its lifecycle phases (admission,
+// queue wait, cache lookup, solve with per-restart child spans, encode):
+// responses carry Server-Timing headers, the request continues a client's
+// W3C traceparent (the trace ID doubles as X-Request-ID), and completed
+// traces land in a bounded in-daemon span store served on /debug/traces.
+// The store tail-samples plain served traces, always keeping errors, sheds,
+// truncations and the slowest quantile (-trace-keep-slowest). -trace-store 0
+// disables tracing entirely; the request path then mints no span IDs and
+// solve results are bit-identical (tracing is observational).
 //
 // All daemon output is structured logging (one JSON object per line via
 // log/slog): a startup record, one record per /solve request carrying the
@@ -104,7 +117,7 @@ func run(args []string, out io.Writer, ready chan<- addrs) error {
 	fs := flag.NewFlagSet("mroamd", flag.ContinueOnError)
 	fs.SetOutput(out)
 	addr := fs.String("addr", ":8080", "listen address for the solve API")
-	opsAddr := fs.String("ops-addr", "", "listen address for the ops surface: /metrics, /debug/pprof, /debug/vars, /buildinfo (empty = disabled)")
+	opsAddr := fs.String("ops-addr", "", "listen address for the ops surface: /metrics, /debug/pprof, /debug/vars, /debug/traces, /buildinfo (empty = disabled)")
 	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn or error (debug adds per-restart solver trace events)")
 	instances := fs.String("instances", "", "JSON file of named instance specs to preload (first entry is the default); replaces the dataset/market flags")
 	specFlags := catalog.Bind(fs, catalog.FieldsAll, catalog.DefaultSpec())
@@ -116,6 +129,8 @@ func run(args []string, out io.Writer, ready chan<- addrs) error {
 	maxDeadline := fs.Duration("max-deadline", 5*time.Minute, "cap on per-request deadlines (0 = none)")
 	maxRestarts := fs.Int("max-restarts", server.DefaultMaxRestarts, "cap on per-request restart budgets")
 	cacheEntries := fs.Int("cache-entries", 0, "completed solve results to cache by request tuple, with identical concurrent requests coalesced (0 = caching disabled)")
+	traceStore := fs.Int("trace-store", 512, "completed request traces to retain for /debug/traces (0 = span tracing disabled)")
+	traceKeep := fs.Float64("trace-keep-slowest", 0, "fraction of plain served traces tail sampling keeps — errors, sheds and truncations are always kept (0 = default "+fmt.Sprintf("%g", obs.DefaultTraceKeepSlowest)+", 1 = keep everything)")
 	drain := fs.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight solves")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -132,16 +147,18 @@ func run(args []string, out io.Writer, ready chan<- addrs) error {
 		return err
 	}
 	srv, err := server.New(server.Config{
-		Catalog:         cat,
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		DefaultDeadline: *defaultDeadline,
-		MaxDeadline:     *maxDeadline,
-		MaxRestarts:     *maxRestarts,
-		CacheEntries:    *cacheEntries,
-		Admission:       *admission,
-		FairShare:       *fairShare,
-		Logger:          logger,
+		Catalog:          cat,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		DefaultDeadline:  *defaultDeadline,
+		MaxDeadline:      *maxDeadline,
+		MaxRestarts:      *maxRestarts,
+		CacheEntries:     *cacheEntries,
+		Admission:        *admission,
+		FairShare:        *fairShare,
+		TraceCapacity:    *traceStore,
+		TraceKeepSlowest: *traceKeep,
+		Logger:           logger,
 	})
 	if err != nil {
 		return err
@@ -241,6 +258,8 @@ func opsMux(srv *server.Server) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/debug/traces", srv.TracesHandler())
+	mux.Handle("/debug/traces/{id}", srv.TracesHandler())
 	mux.HandleFunc("/buildinfo", handleBuildInfo)
 	return mux
 }

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	mroamload -target http://localhost:8080 -duration 2s -rate 50 -seed 7
+//	mroamload -target http://localhost:8080 -trace-check 1 -slowest 10
 //	mroamload -dry-run -trace-out trace.jsonl -seed 7
 //	mroamload -mroamd ./bin/mroamd -policies shed,deadline,fair -o BENCH_serving.json
 //
@@ -22,6 +23,15 @@
 //     JSONL, and the report carries just the digest. Two -dry-run
 //     invocations with equal flags must emit byte-identical traces — that
 //     is the reproducibility contract `make load-smoke` enforces.
+//
+// Every replayed request carries a W3C traceparent header minted at issue
+// time (IDs never enter the trace digest, so reproducibility is unaffected),
+// and the report's slowest rows list their trace IDs alongside the server's
+// Server-Timing phase split — each one keys into the daemon's GET
+// /debug/traces/{id}. -trace-check N additionally fetches the N slowest
+// served traces from the span store after the replay and fails the run
+// unless their span trees validate (single request root, >= 4 lifecycle
+// phases, phase durations summing to the root).
 //
 // The trace is fully determined by the workload flags (-seed, -duration,
 // -rate, -arrival, the mix pools); replay timing and measured latencies
@@ -79,6 +89,8 @@ func run(args []string, out io.Writer) error {
 		"space-separated extra flags for the spawned mroamd (bench mode)")
 	policies := fs.String("policies", "shed,deadline,fair", "admission policies to bench (bench mode)")
 	traceOut := fs.String("trace-out", "", "write the generated trace as JSONL to this file")
+	slowest := fs.Int("slowest", workload.DefaultSlowest, "slowest served requests to list in the report with their trace IDs")
+	traceCheck := fs.Int("trace-check", 0, "after the replay, fetch this many of the slowest traces from the daemon's /debug/traces span store and fail unless their span trees validate (0 = skip)")
 	dryRun := fs.Bool("dry-run", false, "generate (and -trace-out) the trace without issuing any request")
 	outPath := fs.String("o", "", "write the JSON report to this file instead of stdout")
 	if err := fs.Parse(args); err != nil {
@@ -126,13 +138,13 @@ func run(args []string, out io.Writer) error {
 	case *target != "" && *mroamdBin != "":
 		return errors.New("-target and -mroamd are mutually exclusive")
 	case *target != "":
-		rep, err := replay(cfg, trace, *target)
+		rep, err := replay(cfg, trace, *target, *slowest, *traceCheck)
 		if err != nil {
 			return err
 		}
 		doc = rep
 	case *mroamdBin != "":
-		bench, err := benchPolicies(cfg, trace, *mroamdBin, strings.Fields(*mroamdArgs), splitList(*policies))
+		bench, err := benchPolicies(cfg, trace, *mroamdBin, strings.Fields(*mroamdArgs), splitList(*policies), *slowest, *traceCheck)
 		if err != nil {
 			return err
 		}
@@ -183,7 +195,10 @@ func writeTrace(path string, trace workload.Trace) error {
 }
 
 // replay runs the trace against one live daemon and builds its report.
-func replay(cfg workload.Config, trace workload.Trace, baseURL string) (workload.Report, error) {
+// slowest resizes the report's slowest-request listing; traceCheck > 0
+// additionally validates that many of the slowest traces against the
+// daemon's span store while it is still reachable.
+func replay(cfg workload.Config, trace workload.Trace, baseURL string, slowest, traceCheck int) (workload.Report, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.Duration+5*time.Minute)
 	defer cancel()
 	params, err := workload.FetchServerParams(ctx, baseURL, nil)
@@ -194,7 +209,47 @@ func replay(cfg workload.Config, trace workload.Trace, baseURL string) (workload
 	results := workload.Run(ctx, baseURL, trace, nil)
 	rep := workload.BuildReport(cfg, trace, results, params, time.Since(start))
 	rep.Target = baseURL
+	if slowest != workload.DefaultSlowest {
+		rep.Slowest = workload.SlowestRows(results, slowest)
+	}
+	if traceCheck > 0 {
+		rep.TraceChecks, err = checkTraces(ctx, baseURL, rep.Slowest, traceCheck)
+		if err != nil {
+			return rep, err
+		}
+	}
 	return rep, nil
+}
+
+// checkTraces validates the slowest rows' traces against the daemon's span
+// store: each must resolve to a span tree with a single request root, at
+// least four lifecycle phases, and phase durations summing to the root.
+// A trace whose record has not landed in the store yet (the daemon stores it
+// after flushing the response body) is retried briefly before failing.
+func checkTraces(ctx context.Context, baseURL string, rows []workload.SlowRow, n int) ([]string, error) {
+	if len(rows) == 0 {
+		return nil, errors.New("-trace-check: the replay produced no served requests to check")
+	}
+	if n > len(rows) {
+		n = len(rows)
+	}
+	checks := make([]string, 0, n)
+	for _, row := range rows[:n] {
+		var desc string
+		var err error
+		for deadline := time.Now().Add(2 * time.Second); ; {
+			desc, err = workload.CheckTrace(ctx, baseURL, row.TraceID, nil, 4)
+			if err == nil || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		if err != nil {
+			return checks, fmt.Errorf("-trace-check: request %d: %w", row.Index, err)
+		}
+		checks = append(checks, desc)
+	}
+	return checks, nil
 }
 
 // BenchDoc is the combined bench-mode report, recorded as
@@ -208,7 +263,7 @@ type BenchDoc struct {
 	Runs        []workload.Report `json:"runs"`
 }
 
-func benchPolicies(cfg workload.Config, trace workload.Trace, bin string, extraArgs, policies []string) (BenchDoc, error) {
+func benchPolicies(cfg workload.Config, trace workload.Trace, bin string, extraArgs, policies []string, slowest, traceCheck int) (BenchDoc, error) {
 	doc := BenchDoc{
 		Tool:        "mroamload",
 		Generated:   time.Now().UTC().Format(time.RFC3339),
@@ -219,7 +274,7 @@ func benchPolicies(cfg workload.Config, trace workload.Trace, bin string, extraA
 		return doc, errors.New("bench mode: -policies is empty")
 	}
 	for _, policy := range policies {
-		rep, err := benchOne(cfg, trace, bin, extraArgs, policy)
+		rep, err := benchOne(cfg, trace, bin, extraArgs, policy, slowest, traceCheck)
 		if err != nil {
 			return doc, fmt.Errorf("policy %s: %w", policy, err)
 		}
@@ -228,13 +283,13 @@ func benchPolicies(cfg workload.Config, trace workload.Trace, bin string, extraA
 	return doc, nil
 }
 
-func benchOne(cfg workload.Config, trace workload.Trace, bin string, extraArgs []string, policy string) (workload.Report, error) {
+func benchOne(cfg workload.Config, trace workload.Trace, bin string, extraArgs []string, policy string, slowest, traceCheck int) (workload.Report, error) {
 	d, err := startDaemon(bin, append([]string{"-addr", "127.0.0.1:0", "-admission", policy}, extraArgs...))
 	if err != nil {
 		return workload.Report{}, err
 	}
 	defer d.stop()
-	rep, err := replay(cfg, trace, "http://"+d.addr)
+	rep, err := replay(cfg, trace, "http://"+d.addr, slowest, traceCheck)
 	if err != nil {
 		return workload.Report{}, err
 	}

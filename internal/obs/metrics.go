@@ -229,6 +229,62 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return h.sum.Value() }
 
+// A HistogramVec is a family of Histograms keyed by label values — one
+// bucket ladder per label set (e.g. one per solve phase). With mirrors
+// CounterVec.With: first touch of a label set takes the write lock, and
+// callers that cache the returned *Histogram observe lock-free.
+type HistogramVec struct {
+	name   string
+	help   string
+	labels []string
+	bounds []float64
+
+	mu       sync.RWMutex
+	children map[string]*histChild
+}
+
+type histChild struct {
+	values []string
+	h      *Histogram
+}
+
+// With returns the child histogram for the given label values (one per
+// label name, in declaration order), creating it on first use.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: %s has %d labels, got %d values", v.name, len(v.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	v.mu.RLock()
+	ch := v.children[key]
+	v.mu.RUnlock()
+	if ch == nil {
+		v.mu.Lock()
+		if ch = v.children[key]; ch == nil {
+			ch = &histChild{
+				values: append([]string(nil), values...),
+				h: &Histogram{
+					bounds:  v.bounds,
+					buckets: make([]atomic.Int64, len(v.bounds)+1),
+				},
+			}
+			v.children[key] = ch
+		}
+		v.mu.Unlock()
+	}
+	return ch.h
+}
+
+// Each calls f for every child in the family, in unspecified order, with
+// the child's label values and histogram.
+func (v *HistogramVec) Each(f func(values []string, h *Histogram)) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	for _, ch := range v.children {
+		f(ch.values, ch.h)
+	}
+}
+
 // ExpBuckets returns n strictly increasing bucket bounds starting at start
 // and growing by factor: start, start·factor, …, start·factor^(n−1).
 func ExpBuckets(start, factor float64, n int) []float64 {
@@ -261,6 +317,7 @@ type family struct {
 	vec     *CounterVec
 	gvec    *GaugeVec
 	hist    *Histogram
+	hvec    *HistogramVec
 	gauge   func() float64
 }
 
@@ -342,6 +399,34 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	return h
 }
 
+// HistogramVec registers and returns a new labeled histogram family: one
+// fixed-bucket ladder per label set, every series sharing the same bounds
+// (finite, strictly increasing; +Inf implicit).
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i, b := range bounds {
+		if math.IsInf(b, 0) || math.IsNaN(b) || (i > 0 && b <= bounds[i-1]) {
+			panic(fmt.Sprintf("obs: histogram %q bounds must be finite and strictly increasing", name))
+		}
+	}
+	for _, l := range labels {
+		if !validLabelName(l) {
+			panic(fmt.Sprintf("obs: invalid label name %q", l))
+		}
+	}
+	v := &HistogramVec{
+		name:     name,
+		help:     help,
+		labels:   append([]string(nil), labels...),
+		bounds:   append([]float64(nil), bounds...),
+		children: make(map[string]*histChild),
+	}
+	r.register(family{name: name, help: help, kind: "histogram", hvec: v})
+	return v
+}
+
 // GaugeFunc registers a gauge whose value is read by calling f at scrape
 // time. f must be safe for concurrent use.
 func (r *Registry) GaugeFunc(name, help string, f func() float64) {
@@ -368,6 +453,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			writeGaugeVec(bw, f.gvec)
 		case f.hist != nil:
 			writeHistogram(bw, f.name, f.hist)
+		case f.hvec != nil:
+			writeHistogramVec(bw, f.hvec)
 		case f.gauge != nil:
 			fmt.Fprintf(bw, "%s %s\n", f.name, fmtFloat(f.gauge()))
 		}
@@ -421,6 +508,37 @@ func writeHistogram(w io.Writer, name string, h *Histogram) {
 	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
 	fmt.Fprintf(w, "%s_sum %s\n", name, fmtFloat(h.Sum()))
 	fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+}
+
+// writeHistogramVec renders one bucket ladder per label set, label sets in
+// sorted order, each with its own _sum and _count (the per-series triple
+// ValidateExposition checks).
+func writeHistogramVec(w io.Writer, v *HistogramVec) {
+	v.mu.RLock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ch := v.children[k]
+		pairs := make([]string, len(v.labels))
+		for i, l := range v.labels {
+			pairs[i] = l + `="` + escapeLabelValue(ch.values[i]) + `"`
+		}
+		labels := strings.Join(pairs, ",")
+		h := ch.h
+		var cum int64
+		for i, b := range h.bounds {
+			cum += h.buckets[i].Load()
+			fmt.Fprintf(w, "%s_bucket{%s,le=\"%s\"} %d\n", v.name, labels, fmtFloat(b), cum)
+		}
+		cum += h.buckets[len(h.bounds)].Load()
+		fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", v.name, labels, cum)
+		fmt.Fprintf(w, "%s_sum{%s} %s\n", v.name, labels, fmtFloat(h.Sum()))
+		fmt.Fprintf(w, "%s_count{%s} %d\n", v.name, labels, h.Count())
+	}
+	v.mu.RUnlock()
 }
 
 // Handler returns an http.Handler serving the exposition (a /metrics

@@ -30,6 +30,11 @@ e`).Inc() // exercises label escaping
 	for _, x := range []float64{0.05, 0.05, 0.3, 1, 10} {
 		h.Observe(x)
 	}
+	hv := r.HistogramVec("demo_phase_seconds", "Phase latency by phase.", []float64{0.01, 0.1, 1}, "phase")
+	for _, x := range []float64{0.005, 0.05, 0.5} {
+		hv.With("queue").Observe(x)
+	}
+	hv.With("solve").Observe(2)
 	r.GaugeFunc("demo_temperature", "A gauge.", func() float64 { return 36.5 })
 	g := r.GaugeVec("demo_inflight", "In-flight work by lane.", "lane")
 	g.With("fast").Add(3)
@@ -83,6 +88,11 @@ func TestExpositionStructure(t *testing.T) {
 		"demo_latency_seconds_count 5",
 		`demo_solves_total{algorithm="BLS"} 7`,
 		"# TYPE demo_temperature gauge",
+		"# TYPE demo_phase_seconds histogram",
+		`demo_phase_seconds_bucket{phase="queue",le="+Inf"} 3`,
+		`demo_phase_seconds_count{phase="queue"} 3`,
+		`demo_phase_seconds_bucket{phase="solve",le="1"} 0`,
+		`demo_phase_seconds_count{phase="solve"} 1`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q:\n%s", want, out)
@@ -281,6 +291,53 @@ func TestGaugeVec(t *testing.T) {
 		t.Errorf("hot gauge %d, want %d", got, workers*perWorker)
 	}
 
+	// Label arity mismatches panic like CounterVec's.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("With with wrong arity did not panic")
+			}
+		}()
+		v.With("a", "b")
+	}()
+}
+
+// TestHistogramVecConcurrent hammers two children of one labeled histogram
+// family from many goroutines: no observation may be lost (exact per-series
+// _count equalities), the rendered exposition must stay valid per series,
+// and concurrent first-touch With of the same label set must not race.
+func TestHistogramVecConcurrent(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("t_hv", "x", []float64{1, 2, 4}, "phase")
+	phases := []string{"queue", "solve"}
+	const goroutines, per = 12, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				v.With(phases[(g+i)%len(phases)]).Observe(float64(i % 5))
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var total int64
+	v.Each(func(_ []string, h *Histogram) { total += h.Count() })
+	if total != goroutines*per {
+		t.Errorf("total observations %d, want %d", total, goroutines*per)
+	}
+	if got := v.With("queue").Count() + v.With("solve").Count(); got != goroutines*per {
+		t.Errorf("per-series counts sum to %d, want %d", got, goroutines*per)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateExposition(buf.Bytes()); err != nil {
+		t.Errorf("exposition after concurrent observes invalid: %v\n%s", err, buf.Bytes())
+	}
 	// Label arity mismatches panic like CounterVec's.
 	func() {
 		defer func() {

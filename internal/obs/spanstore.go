@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// TraceRecord is one completed request's trace: its identity, the
+// request-level dimensions /debug/traces filters on, and the full span
+// set. Records are immutable once added to a SpanStore.
+type TraceRecord struct {
+	TraceID string `json:"trace_id"`
+	// Start and Duration mirror the root span, lifted out so list views
+	// and sampling never walk the span slice.
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	// Outcome classifies the request: "served", "served_truncated", a
+	// "shed_<reason>", "abandoned" or "error". Tail sampling keeps every
+	// non-"served" record unconditionally.
+	Outcome string `json:"outcome"`
+	// Instance and Algorithm are the request's routing dimensions.
+	Instance  string `json:"instance,omitempty"`
+	Algorithm string `json:"algorithm,omitempty"`
+	// Status is the HTTP status the client saw.
+	Status int    `json:"status"`
+	Spans  []Span `json:"spans"`
+}
+
+// interesting reports whether the record must bypass tail sampling: every
+// outcome that is not a plain fast success is exactly what an operator
+// opens the trace store to find.
+func (r *TraceRecord) interesting() bool {
+	return r.Outcome != "served"
+}
+
+// SpanStore retains completed traces in a bounded ring buffer with
+// tail-based sampling: a record is admitted after its outcome and duration
+// are known, so the store can always keep errors, sheds and truncations
+// while admitting only the slowest quantile of plain successes — the
+// traces worth a ring slot. Everything sampled away is counted, never
+// silently gone.
+//
+// All methods are lock-free and safe for concurrent use: the ring is a
+// slice of atomic pointers, the write cursor a single atomic counter, and
+// the duration quantile estimate a fixed bucket array of atomic counts.
+// Readers observe a near-point-in-time view — a scrape concurrent with
+// writes may see a slot's old or new record, each of which is internally
+// consistent (records are immutable).
+type SpanStore struct {
+	slots []atomic.Pointer[TraceRecord]
+	next  atomic.Uint64 // total ring writes; next slot is next % len(slots)
+
+	keepSlowest float64
+	durBounds   []time.Duration // exp bucket upper bounds for served durations
+	durCounts   []atomic.Int64  // one per bound, plus +Inf
+	durTotal    atomic.Int64
+
+	kept        atomic.Int64
+	sampledOut  atomic.Int64
+	boundarySeq atomic.Uint64 // stride counter for the quantile boundary bucket
+
+	// OnEvent, when non-nil, observes every Add: kept=true when the record
+	// entered the ring. Set before concurrent use; it must be safe for
+	// concurrent calls (the server wires it to lock-free counters).
+	OnEvent func(kept bool)
+}
+
+// DefaultTraceKeepSlowest is the fraction of plain served traces the store
+// keeps when the caller passes a non-positive keepSlowest: the slowest 25%.
+const DefaultTraceKeepSlowest = 0.25
+
+// sampleWarmup is how many served durations the quantile estimate needs
+// before sampling activates; until then every trace is kept, so short test
+// runs and freshly booted daemons retain complete timelines.
+const sampleWarmup = 64
+
+// NewSpanStore returns a store retaining at most capacity traces (minimum
+// 1), keeping the slowest keepSlowest fraction of plain successes once
+// warmed up (non-positive or ≥1 values select DefaultTraceKeepSlowest and
+// keep-everything respectively).
+func NewSpanStore(capacity int, keepSlowest float64) *SpanStore {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if keepSlowest <= 0 {
+		keepSlowest = DefaultTraceKeepSlowest
+	}
+	if keepSlowest > 1 {
+		keepSlowest = 1
+	}
+	// 100µs·2^k for 20 buckets spans 0.1ms..~52s, matching the latency
+	// scales the serving layer sees end to end.
+	bounds := make([]time.Duration, 20)
+	d := 100 * time.Microsecond
+	for i := range bounds {
+		bounds[i] = d
+		d *= 2
+	}
+	return &SpanStore{
+		slots:       make([]atomic.Pointer[TraceRecord], capacity),
+		keepSlowest: keepSlowest,
+		durBounds:   bounds,
+		durCounts:   make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Cap returns the ring capacity — the hard bound on retained traces.
+func (s *SpanStore) Cap() int { return len(s.slots) }
+
+// Add offers one completed trace to the store and reports whether it was
+// kept. Interesting records (anything not plainly "served") are always
+// kept; served records are kept while the duration estimate warms up and
+// afterwards only when their duration reaches the slowest-quantile
+// threshold.
+func (s *SpanStore) Add(rec *TraceRecord) bool {
+	kept := true
+	if !rec.interesting() {
+		kept = s.admitServed(rec.Duration)
+	}
+	if kept {
+		i := s.next.Add(1) - 1
+		s.slots[i%uint64(len(s.slots))].Store(rec)
+		s.kept.Add(1)
+	} else {
+		s.sampledOut.Add(1)
+	}
+	if s.OnEvent != nil {
+		s.OnEvent(kept)
+	}
+	return kept
+}
+
+// admitServed records the duration into the quantile estimate and decides
+// whether a plain served trace earns a ring slot.
+func (s *SpanStore) admitServed(d time.Duration) bool {
+	// Bucket index: first bound ≥ d, or +Inf.
+	idx := len(s.durBounds)
+	for i, b := range s.durBounds {
+		if d <= b {
+			idx = i
+			break
+		}
+	}
+	s.durCounts[idx].Add(1)
+	total := s.durTotal.Add(1)
+	if total <= sampleWarmup {
+		return true
+	}
+	// Find the boundary bucket T: the first bucket whose cumulative count
+	// crosses the (1-keepSlowest) quantile cut. Everything in a slower
+	// bucket is kept, everything faster is dropped, and within T itself a
+	// deterministic stride keeps the fraction of the bucket's mass that
+	// sits above the cut — so a unimodal workload (all durations in one
+	// bucket) still retains ~keepSlowest of its traces instead of
+	// degenerating to all-or-nothing. The walk is over ~20 atomic loads; a
+	// racing concurrent update can shift the threshold by one observation,
+	// which sampling accuracy happily tolerates.
+	cut := int64(float64(total) * (1 - s.keepSlowest))
+	boundary := len(s.durCounts) - 1
+	var cum, inBoundary int64
+	for i := range s.durCounts {
+		c := s.durCounts[i].Load()
+		cum += c
+		if cum > cut {
+			boundary, inBoundary = i, c
+			break
+		}
+	}
+	switch {
+	case idx > boundary:
+		return true
+	case idx < boundary:
+		return false
+	}
+	keepFrac := float64(cum-cut) / float64(inBoundary) // in (0,1]
+	stride := int64(1/keepFrac + 0.5)
+	if stride < 1 {
+		stride = 1
+	}
+	return s.boundarySeq.Add(1)%uint64(stride) == 0
+}
+
+// Kept returns how many traces entered the ring over the store's lifetime
+// (retained-or-overwritten; the ring holds at most Cap of them now).
+func (s *SpanStore) Kept() int64 { return s.kept.Load() }
+
+// SampledOut returns how many served traces tail sampling dropped.
+func (s *SpanStore) SampledOut() int64 { return s.sampledOut.Load() }
+
+// Len returns how many traces the ring currently holds.
+func (s *SpanStore) Len() int {
+	n := s.next.Load()
+	if n > uint64(len(s.slots)) {
+		return len(s.slots)
+	}
+	return int(n)
+}
+
+// Get returns the retained trace with the given ID.
+func (s *SpanStore) Get(traceID string) (*TraceRecord, bool) {
+	for i := range s.slots {
+		if rec := s.slots[i].Load(); rec != nil && rec.TraceID == traceID {
+			return rec, true
+		}
+	}
+	return nil, false
+}
+
+// Snapshot returns the retained traces, newest first. The slice is freshly
+// allocated; the records are shared and immutable.
+func (s *SpanStore) Snapshot() []*TraceRecord {
+	n := s.next.Load()
+	out := make([]*TraceRecord, 0, len(s.slots))
+	// Walk back from the most recent write; one lap covers every slot.
+	for k := 0; k < len(s.slots); k++ {
+		if n < uint64(k)+1 {
+			break // ring not yet full; older slots never written
+		}
+		idx := (n - 1 - uint64(k)) % uint64(len(s.slots))
+		if rec := s.slots[idx].Load(); rec != nil {
+			out = append(out, rec)
+		}
+	}
+	return out
+}

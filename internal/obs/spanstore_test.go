@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func servedRecord(id string, d time.Duration) *TraceRecord {
+	return &TraceRecord{TraceID: id, Duration: d, Outcome: "served", Status: 200}
+}
+
+func TestSpanStoreBoundAndLookup(t *testing.T) {
+	s := NewSpanStore(4, 1) // keepSlowest=1: keep every served trace
+	for i := 0; i < 10; i++ {
+		s.Add(servedRecord(fmt.Sprintf("t%02d", i), time.Millisecond))
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want capacity 4", s.Len())
+	}
+	snap := s.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("Snapshot has %d records, want 4", len(snap))
+	}
+	// Newest first; the ring retains only the last four adds.
+	for i, want := range []string{"t09", "t08", "t07", "t06"} {
+		if snap[i].TraceID != want {
+			t.Errorf("snapshot[%d] = %s, want %s", i, snap[i].TraceID, want)
+		}
+	}
+	if _, ok := s.Get("t00"); ok {
+		t.Error("evicted record still retrievable")
+	}
+	if rec, ok := s.Get("t08"); !ok || rec.TraceID != "t08" {
+		t.Errorf("Get(t08) = %v, %v", rec, ok)
+	}
+	if s.Kept() != 10 || s.SampledOut() != 0 {
+		t.Errorf("Kept=%d SampledOut=%d, want 10,0", s.Kept(), s.SampledOut())
+	}
+}
+
+func TestSpanStorePartialRing(t *testing.T) {
+	s := NewSpanStore(8, 1)
+	s.Add(servedRecord("only", time.Millisecond))
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	snap := s.Snapshot()
+	if len(snap) != 1 || snap[0].TraceID != "only" {
+		t.Fatalf("Snapshot = %v", snap)
+	}
+}
+
+// TestSpanStoreTailSampling drives the store past warmup with a bimodal
+// served-duration distribution and checks that sampling keeps the slow mode,
+// drops most of the fast mode, and counts every drop.
+func TestSpanStoreTailSampling(t *testing.T) {
+	s := NewSpanStore(4096, 0.25)
+	var events, keptEvents int
+	s.OnEvent = func(kept bool) {
+		events++
+		if kept {
+			keptEvents++
+		}
+	}
+	const fast, slow = 1200, 300
+	fastKept := 0
+	for i := 0; i < fast; i++ {
+		if s.Add(servedRecord(fmt.Sprintf("fast%04d", i), 500*time.Microsecond)) {
+			fastKept++
+		}
+	}
+	slowKept := 0
+	for i := 0; i < slow; i++ {
+		if s.Add(servedRecord(fmt.Sprintf("slow%04d", i), 2*time.Second)) {
+			slowKept++
+		}
+	}
+	if slowKept != slow {
+		t.Errorf("slow-tail traces kept %d/%d, want all", slowKept, slow)
+	}
+	// The fast mode sits well below the 75th percentile once warmup ends;
+	// only warmup and quantile-drift stragglers may survive.
+	if fastKept > fast/2 {
+		t.Errorf("fast traces kept %d/%d, sampling not engaging", fastKept, fast)
+	}
+	if fastKept < sampleWarmup {
+		t.Errorf("fast traces kept %d, want at least warmup %d", fastKept, sampleWarmup)
+	}
+	wantKept := int64(fastKept + slowKept)
+	if s.Kept() != wantKept || s.SampledOut() != int64(fast+slow)-wantKept {
+		t.Errorf("Kept=%d SampledOut=%d, want %d,%d", s.Kept(), s.SampledOut(), wantKept, int64(fast+slow)-wantKept)
+	}
+	if events != fast+slow || keptEvents != int(wantKept) {
+		t.Errorf("OnEvent saw %d/%d kept, want %d/%d", keptEvents, events, wantKept, fast+slow)
+	}
+}
+
+// TestSpanStoreKeepsInterestingUnderBurst is the satellite guarantee: under a
+// burst where sheds and errors interleave with a flood of fast successes,
+// every non-served trace is retained (until ring eviction) and the ring never
+// exceeds its bound.
+func TestSpanStoreKeepsInterestingUnderBurst(t *testing.T) {
+	const capacity = 512
+	s := NewSpanStore(capacity, 0.1)
+	outcomes := []string{"shed_queue_full", "shed_deadline", "error", "served_truncated"}
+	interesting := 0
+	for i := 0; i < 2000; i++ {
+		if i%5 == 0 { // every fifth request fails; 400 interesting < capacity
+			rec := &TraceRecord{
+				TraceID: fmt.Sprintf("bad%04d", i),
+				Outcome: outcomes[i%len(outcomes)],
+				Status:  429,
+			}
+			if !s.Add(rec) {
+				t.Fatalf("interesting record %s sampled out", rec.TraceID)
+			}
+			interesting++
+		} else {
+			s.Add(servedRecord(fmt.Sprintf("ok%04d", i), 200*time.Microsecond))
+		}
+	}
+	if s.Len() > capacity {
+		t.Fatalf("ring holds %d > capacity %d", s.Len(), capacity)
+	}
+	// All interesting traces fit in the ring alongside the kept successes
+	// only if evictions didn't push them out — count what survived.
+	got := 0
+	for _, rec := range s.Snapshot() {
+		if rec.interesting() {
+			got++
+		}
+	}
+	// The last `capacity` kept records include every interesting record in
+	// that window; with 1-in-5 interesting and most successes sampled out,
+	// the overwhelming majority of ring slots should be interesting.
+	if got < capacity/2 {
+		t.Errorf("only %d/%d ring slots hold interesting traces", got, capacity)
+	}
+}
+
+// TestSpanStoreConcurrent is the -race hammer: writers adding records while
+// readers snapshot, look up and count — the access pattern of request
+// handlers racing /debug/traces scrapes.
+func TestSpanStoreConcurrent(t *testing.T) {
+	s := NewSpanStore(64, 0.5)
+	var stored, dropped int64
+	var mu sync.Mutex
+	s.OnEvent = func(kept bool) {
+		mu.Lock()
+		if kept {
+			stored++
+		} else {
+			dropped++
+		}
+		mu.Unlock()
+	}
+	const writers, perWriter, readers = 8, 500, 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, rec := range s.Snapshot() {
+					if rec.TraceID == "" {
+						t.Error("snapshot surfaced zero record")
+						return
+					}
+				}
+				s.Get("w3-0042")
+				_ = s.Len()
+				_, _ = s.Kept(), s.SampledOut()
+			}
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				rec := servedRecord(fmt.Sprintf("w%d-%04d", w, i), time.Duration(i%7)*time.Millisecond)
+				if i%11 == 0 {
+					rec.Outcome = "shed_queue_full"
+				}
+				s.Add(rec)
+			}
+		}(w)
+	}
+	// Writers finish first, then release the readers.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	for {
+		mu.Lock()
+		n := stored + dropped
+		mu.Unlock()
+		if n == writers*perWriter {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	<-done
+
+	if s.Len() > 64 {
+		t.Errorf("ring over bound: %d", s.Len())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if stored+dropped != writers*perWriter {
+		t.Errorf("events %d, want %d", stored+dropped, writers*perWriter)
+	}
+	if s.Kept() != stored || s.SampledOut() != dropped {
+		t.Errorf("counters Kept=%d SampledOut=%d, events %d/%d", s.Kept(), s.SampledOut(), stored, dropped)
+	}
+}
+
+func TestSpanStoreDefaults(t *testing.T) {
+	s := NewSpanStore(0, 0)
+	if s.Cap() != 1 {
+		t.Errorf("Cap = %d, want clamped 1", s.Cap())
+	}
+	if s.keepSlowest != DefaultTraceKeepSlowest {
+		t.Errorf("keepSlowest = %v, want default %v", s.keepSlowest, DefaultTraceKeepSlowest)
+	}
+	if s2 := NewSpanStore(10, 7); s2.keepSlowest != 1 {
+		t.Errorf("keepSlowest = %v, want clamped 1", s2.keepSlowest)
+	}
+}

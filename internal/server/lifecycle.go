@@ -1,0 +1,187 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// reqLifecycle tracks one /solve request's phase boundaries — admission →
+// cache lookup → queue wait → solve → encode — and, when the server has a
+// span store, records the same boundaries as a span tree. The phase
+// timestamps always exist (they feed the mroamd_queue_wait_seconds and
+// mroamd_solve_phase_seconds histograms and the Server-Timing header);
+// spans exist only when tracing is enabled, so the disabled path mints no
+// IDs and allocates nothing per request beyond this struct.
+//
+// Adjacent phases share their boundary timestamp, so phase durations sum
+// exactly (integer nanoseconds) to the root span's duration — the property
+// the trace-smoke target and TestTracePhaseSums assert.
+type reqLifecycle struct {
+	m     *metrics
+	store *obs.SpanStore
+
+	start time.Time
+	// requestID is the X-Request-ID value: the client's trace ID when it
+	// supplied a valid traceparent, a legacy process-unique ID otherwise.
+	requestID string
+	// traceID is non-empty whenever the request has a trace identity —
+	// always when tracing is enabled, and when the client sent a valid
+	// traceparent even with tracing off.
+	traceID string
+
+	rec    *obs.SpanRecorder
+	root   *obs.ActiveSpan
+	phase  *obs.ActiveSpan // currently open phase span (child of root)
+	tracer *obs.SpanTracer // armed at solve start; restart slots become spans
+
+	queueAt   time.Time     // queue phase start
+	queueWait time.Duration // known once a worker slot was acquired
+	solveDur  time.Duration // known once the solve phase ended
+	encodeAt  time.Time     // encode phase start; zero if never reached
+
+	instance  string
+	algorithm string
+	done      bool
+}
+
+// startLifecycle begins a request's lifecycle at its arrival instant:
+// resolves the trace identity from the incoming traceparent header, opens
+// the root and admission spans when tracing is enabled, and stamps the
+// response's traceparent echo so every answer — including 429s — carries it.
+func (s *Server) startLifecycle(w http.ResponseWriter, r *http.Request, start time.Time) *reqLifecycle {
+	lc := &reqLifecycle{m: s.metrics, store: s.traces, start: start}
+	clientTrace, clientSpan, sampled, ok := obs.ParseTraceparent(r.Header.Get("Traceparent"))
+	if ok {
+		// The client's trace ID is the request's identity end to end: the
+		// same string appears in the client's records, X-Request-ID, the
+		// server log line and /debug/traces.
+		lc.requestID = clientTrace
+		lc.traceID = clientTrace
+	} else {
+		lc.requestID = obs.NewRequestID()
+	}
+	if s.traces != nil {
+		lc.rec = obs.NewSpanRecorder(clientTrace)
+		lc.traceID = lc.rec.TraceID()
+		lc.root = lc.rec.StartSpanAt("request", clientSpan, start)
+		lc.phase = lc.root.StartChildAt("admission", start)
+		lc.tracer = &obs.SpanTracer{}
+		// Echo our root span as the server's contribution to the trace.
+		w.Header().Set("Traceparent", obs.FormatTraceparent(lc.traceID, lc.root.ID(), true))
+	} else if ok {
+		// Tracing disabled: still echo the client's context back verbatim
+		// (normalized), so propagation round-trips are observable.
+		w.Header().Set("Traceparent", obs.FormatTraceparent(clientTrace, clientSpan, sampled))
+	}
+	return lc
+}
+
+// noteTarget records the request's routing dimensions once the instance
+// resolved and the algorithm validated.
+func (l *reqLifecycle) noteTarget(instance, algorithm string) {
+	l.instance, l.algorithm = instance, algorithm
+	if l.root != nil {
+		l.root.SetAttr("instance", instance)
+		l.root.SetAttr("algorithm", algorithm)
+	}
+}
+
+// nextPhase closes the open phase span and opens the next at the same
+// instant (no-op without tracing).
+func (l *reqLifecycle) nextPhase(name string, at time.Time) {
+	if l.rec == nil {
+		return
+	}
+	l.phase.EndAt(at)
+	l.phase = l.root.StartChildAt(name, at)
+}
+
+// enterCacheLookup marks the boundary between request admission work and
+// the solve-cache fast-path probe.
+func (l *reqLifecycle) enterCacheLookup(at time.Time) {
+	l.nextPhase("cache_lookup", at)
+}
+
+// cacheHit marks a fast-path answer: the request goes straight to encoding,
+// never holding a queue or worker token. Only the admission phase histogram
+// is observed — there was no queue wait and no solve.
+func (l *reqLifecycle) cacheHit(at time.Time) {
+	l.m.solvePhase.With("admission").Observe(at.Sub(l.start).Seconds())
+	l.encodeAt = at
+	if l.root != nil {
+		l.root.SetAttr("cached", true)
+	}
+	l.nextPhase("encode", at)
+}
+
+// enterQueue ends the admission work (observed into the admission phase
+// histogram, cache probe included) and starts the queue wait.
+func (l *reqLifecycle) enterQueue(at time.Time) {
+	l.queueAt = at
+	l.m.solvePhase.With("admission").Observe(at.Sub(l.start).Seconds())
+	l.nextPhase("queue", at)
+}
+
+// enterSolve records the queue wait — measured here, at worker-slot
+// acquisition, so it is never folded into the solve phase — and arms the
+// restart-slot tracer under the solve span.
+func (l *reqLifecycle) enterSolve(at time.Time) {
+	l.queueWait = at.Sub(l.queueAt)
+	l.m.queueWait.Observe(l.queueWait.Seconds())
+	l.nextPhase("solve", at)
+	if l.tracer != nil {
+		l.tracer.Begin(l.phase, at)
+	}
+}
+
+// enterEncode ends the solve phase (observed into the solve phase
+// histogram, queue wait excluded by construction) and starts encoding. at
+// is the solve's end boundary — the solve start plus solveDur, so the span
+// layout stays contiguous.
+func (l *reqLifecycle) enterEncode(at time.Time, solveDur time.Duration) {
+	l.solveDur = solveDur
+	l.m.solvePhase.With("solve").Observe(solveDur.Seconds())
+	l.encodeAt = at
+	l.nextPhase("encode", at)
+}
+
+// finish completes the lifecycle: ends the open phase and the root span at
+// one shared instant, observes the encode phase, and offers the trace to
+// the store (tail-sampled). Idempotent; error paths call it defensively.
+func (l *reqLifecycle) finish(status int, outcome string) {
+	if l.done {
+		return
+	}
+	l.done = true
+	end := time.Now()
+	if !l.encodeAt.IsZero() {
+		l.m.solvePhase.With("encode").Observe(end.Sub(l.encodeAt).Seconds())
+	}
+	if l.rec == nil {
+		return
+	}
+	l.phase.EndAt(end)
+	l.root.SetAttr("outcome", outcome)
+	l.root.EndAt(end)
+	spans := l.rec.Spans()
+	obs.SortSpans(spans)
+	l.store.Add(&obs.TraceRecord{
+		TraceID:   l.rec.TraceID(),
+		Start:     l.start,
+		Duration:  l.root.Duration(),
+		Outcome:   outcome,
+		Instance:  l.instance,
+		Algorithm: l.algorithm,
+		Status:    status,
+		Spans:     spans,
+	})
+}
+
+// serverTiming renders the Server-Timing header for this request: queue
+// wait, solve time and total server time so far (encoding happens after
+// headers flush and cannot be included).
+func (l *reqLifecycle) serverTiming() string {
+	return obs.FormatServerTiming(l.queueWait, l.solveDur, time.Since(l.start))
+}

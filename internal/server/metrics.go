@@ -20,19 +20,22 @@ type metrics struct {
 	reg   *obs.Registry
 	cat   *catalog.Catalog
 
-	requests         *obs.CounterVec // completed solves by algorithm
-	instanceReqs     *obs.CounterVec // completed solves by catalog instance
-	instanceInflight *obs.GaugeVec   // admitted (queued or executing) requests by instance
-	reloads          *obs.Counter    // successful PUT /instances loads
-	latency          *obs.Histogram  // seconds per completed solve
-	regret           *obs.Histogram  // final total regret per completed solve
-	truncated        *obs.Counter    // completed solves cut off by deadline/cancel
-	rejected         *obs.CounterVec // 429s at admission, by reason
-	abandoned        *obs.Counter    // client gone while waiting for a worker slot
-	restarts         *obs.Counter    // sum of RestartsCompleted
-	evals            *obs.Counter    // sum of Evals
-	cache            *obs.CounterVec // gain-cache events by kind
-	solveCache       *obs.CounterVec // solve-result cache events by kind
+	requests         *obs.CounterVec   // completed solves by algorithm
+	instanceReqs     *obs.CounterVec   // completed solves by catalog instance
+	instanceInflight *obs.GaugeVec     // admitted (queued or executing) requests by instance
+	reloads          *obs.Counter      // successful PUT /instances loads
+	latency          *obs.Histogram    // seconds per completed solve
+	regret           *obs.Histogram    // final total regret per completed solve
+	truncated        *obs.Counter      // completed solves cut off by deadline/cancel
+	rejected         *obs.CounterVec   // 429s at admission, by reason
+	abandoned        *obs.Counter      // client gone while waiting for a worker slot
+	restarts         *obs.Counter      // sum of RestartsCompleted
+	evals            *obs.Counter      // sum of Evals
+	cache            *obs.CounterVec   // gain-cache events by kind
+	solveCache       *obs.CounterVec   // solve-result cache events by kind
+	queueWait        *obs.Histogram    // seconds between queue entry and worker-slot acquisition
+	solvePhase       *obs.HistogramVec // seconds per request phase (admission/solve/encode)
+	traceEvents      *obs.CounterVec   // span-store admissions by outcome (stored/sampled_out)
 
 	// Histograms do not retain a max, so /stats keeps its own (CAS loop,
 	// still lock-free).
@@ -94,6 +97,27 @@ func newMetrics(cat *catalog.Catalog) *metrics {
 			"coalesced = joined an identical in-flight solve, evicted = entry dropped "+
 			"(capacity or instance invalidation).",
 		"event")
+	m.queueWait = reg.Histogram("mroamd_queue_wait_seconds",
+		"Time admitted requests spent waiting for a worker slot, measured at "+
+			"slot acquisition and excluded from the solve phase by construction.",
+		latencyBuckets)
+	m.solvePhase = reg.HistogramVec("mroamd_solve_phase_seconds",
+		"Per-phase server time for /solve requests: admission = decode, validation "+
+			"and the cache probe; solve = solver (or coalesced flight) execution, queue "+
+			"wait excluded; encode = response serialization. admission + "+
+			"mroamd_queue_wait_seconds + solve + encode sum to a request's total server "+
+			"time; phases a request never reached contribute nothing.",
+		latencyBuckets, "phase")
+	for _, phase := range []string{"admission", "solve", "encode"} {
+		m.solvePhase.With(phase)
+	}
+	m.traceEvents = reg.CounterVec("mroamd_trace_events_total",
+		"Completed-trace span-store admissions: stored = the trace entered the ring "+
+			"(errors, sheds and truncations always do), sampled_out = a plain served "+
+			"trace below the slowest-quantile threshold was dropped by tail sampling.",
+		"event")
+	m.traceEvents.With("stored")
+	m.traceEvents.With("sampled_out")
 	reg.GaugeFunc("mroamd_uptime_seconds",
 		"Seconds since the server started.",
 		func() float64 { return time.Since(m.start).Seconds() })

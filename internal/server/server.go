@@ -113,6 +113,17 @@ type Config struct {
 	// requests) one instance may hold under AdmitFair. Values < 1 select
 	// half the total capacity, rounded up. Ignored by the other policies.
 	FairShare int
+	// TraceCapacity bounds the in-daemon span store: completed request
+	// traces are retained in a ring of this many slots and served on
+	// /debug/traces. 0 (the default) disables span tracing entirely — the
+	// request path then mints no span IDs and records no spans, and solve
+	// results are bit-identical either way (tracing is observational).
+	TraceCapacity int
+	// TraceKeepSlowest is the fraction of plain served traces tail
+	// sampling keeps once warmed up (errors, sheds and truncations are
+	// always kept). Non-positive selects obs.DefaultTraceKeepSlowest;
+	// values ≥ 1 keep everything.
+	TraceKeepSlowest float64
 	// Logger receives one structured record per /solve request plus
 	// lifecycle events. nil discards everything. A logger whose level
 	// admits Debug additionally gets per-restart solver trace events.
@@ -137,6 +148,7 @@ type Server struct {
 	workers chan struct{} // execution tokens: capacity Workers
 	metrics *metrics
 	cache   *solvecache.Cache // nil when Config.CacheEntries == 0
+	traces  *obs.SpanStore    // nil when Config.TraceCapacity == 0
 	adm     *admission
 }
 
@@ -203,6 +215,19 @@ func New(cfg Config) (*Server, error) {
 			OnEvent:   func(ev solvecache.Event) { s.metrics.solveCache.With(string(ev)).Inc() },
 		})
 	}
+	if cfg.TraceCapacity > 0 {
+		s.traces = obs.NewSpanStore(cfg.TraceCapacity, cfg.TraceKeepSlowest)
+		s.traces.OnEvent = func(kept bool) {
+			if kept {
+				s.metrics.traceEvents.With("stored").Inc()
+			} else {
+				s.metrics.traceEvents.With("sampled_out").Inc()
+			}
+		}
+		s.metrics.reg.GaugeFunc("mroamd_trace_store_traces",
+			"Completed request traces currently retained in the span store.",
+			func() float64 { return float64(s.traces.Len()) })
+	}
 	s.metrics.reg.GaugeFunc("mroamd_solve_cache_entries",
 		"Completed solve results currently cached.",
 		func() float64 {
@@ -218,7 +243,19 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /instances", s.handleInstancesList)
 	s.mux.HandleFunc("PUT /instances/{name}", s.handleInstancePut)
 	s.mux.HandleFunc("DELETE /instances/{name}", s.handleInstanceDelete)
+	s.mux.Handle("/debug/traces", s.TracesHandler())
+	s.mux.Handle("/debug/traces/{id}", s.TracesHandler())
 	return s, nil
+}
+
+// TracesHandler returns the /debug/traces handlers on their own, so a
+// separate ops listener can serve them without exposing /solve (mirroring
+// MetricsHandler). With tracing disabled the handlers answer 404.
+func (s *Server) TracesHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/traces", s.handleTracesList)
+	mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceGet)
+	return mux
 }
 
 // Handler returns the HTTP handler tree; mount it on an http.Server (whose
@@ -313,43 +350,50 @@ const maxRequestBody = 1 << 20
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// Admission stamps every request — even ones about to be rejected —
-	// with a process-unique ID, so a log line can always be tied back to
-	// the response the client saw.
-	reqID := obs.NewRequestID()
+	// with an ID, so a log line can always be tied back to the response the
+	// client saw. A request arriving with a valid traceparent uses its
+	// trace ID as that identifier end to end (X-Request-ID, log line,
+	// /debug/traces); anything else gets a legacy process-unique ID.
+	admitted := time.Now()
+	lc := s.startLifecycle(w, r, admitted)
+	reqID := lc.requestID
 	w.Header().Set("X-Request-ID", reqID)
 	ctx := obs.WithRequestID(r.Context(), reqID)
 	reqLog := s.log.With("req", reqID)
-	admitted := time.Now()
+	if lc.traceID != "" && lc.traceID != reqID {
+		reqLog = reqLog.With("trace", lc.traceID)
+	}
 	logOutcome := func(status int, attrs ...any) {
 		attrs = append(attrs,
 			"status", status,
 			"elapsed_ms", float64(time.Since(admitted).Microseconds())/1e3)
 		reqLog.Info("solve request", attrs...)
 	}
-	fail := func(status int, format string, args ...any) {
+	fail := func(status int, outcome, format string, args ...any) {
 		msg := fmt.Sprintf(format, args...)
 		logOutcome(status, "error", msg)
 		writeJSON(w, status, errorResponse{Error: msg})
+		lc.finish(status, outcome)
 	}
 
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		fail(http.StatusMethodNotAllowed, "POST only")
+		fail(http.StatusMethodNotAllowed, "error", "POST only")
 		return
 	}
 	var req SolveRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		fail(http.StatusBadRequest, "decode request: %v", err)
+		fail(http.StatusBadRequest, "error", "decode request: %v", err)
 		return
 	}
 	if req.Restarts < 0 || req.DeadlineMS < 0 {
-		fail(http.StatusBadRequest, "restarts and deadline_ms must be non-negative")
+		fail(http.StatusBadRequest, "error", "restarts and deadline_ms must be non-negative")
 		return
 	}
 	if req.Restarts > s.cfg.MaxRestarts {
-		fail(http.StatusBadRequest, "restarts %d exceeds server cap %d", req.Restarts, s.cfg.MaxRestarts)
+		fail(http.StatusBadRequest, "error", "restarts %d exceeds server cap %d", req.Restarts, s.cfg.MaxRestarts)
 		return
 	}
 	if req.Algorithm == "" {
@@ -360,14 +404,24 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// concurrent hot-swap can never produce a torn response.
 	entry, ok := s.catalog.Get(req.Instance)
 	if !ok {
-		fail(http.StatusNotFound, "unknown instance %q", req.Instance)
+		fail(http.StatusNotFound, "error", "unknown instance %q", req.Instance)
 		return
 	}
-	// Tracing is observational (bit-identical results), so attaching it
-	// whenever the logger wants Debug records cannot change answers.
+	// Tracing is observational (bit-identical results), so attaching it —
+	// the Debug log tracer, the restart-span tracer, or both — cannot
+	// change answers. The span tracer is constructed unarmed here and armed
+	// at solve start; until then (and with tracing disabled, where it is
+	// nil) it ignores every event.
 	var tracer core.Tracer
 	if reqLog.Enabled(ctx, slog.LevelDebug) {
 		tracer = obs.LogTracer{L: reqLog}
+	}
+	if lc.tracer != nil {
+		if tracer != nil {
+			tracer = obs.MultiTracer{lc.tracer, tracer}
+		} else {
+			tracer = lc.tracer
+		}
 	}
 	alg, err := core.AlgorithmByNameOpts(req.Algorithm, core.LocalSearchOptions{
 		Seed:             req.Seed,
@@ -377,9 +431,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		Tracer:           tracer,
 	})
 	if err != nil {
-		fail(http.StatusBadRequest, "%v", err)
+		fail(http.StatusBadRequest, "error", "%v", err)
 		return
 	}
+	lc.noteTarget(entry.Name, alg.Name())
 
 	// The effective deadline is computed before admission so the cache
 	// fast path and the response echo share it. When it differs from what
@@ -412,13 +467,16 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			Restarts:         req.Restarts,
 			ImprovementRatio: req.ImprovementRatio,
 		}
+		lc.enterCacheLookup(time.Now())
 		if res, age, ok := s.cache.Lookup(key); ok {
 			latency := time.Since(admitted)
 			s.metrics.observeRequest(req.Algorithm, entry.Name, res, latency)
-			s.finishSolve(w, logOutcome, req, alg.Name(), entry, res, latency, true, age, effDeadlineMS)
+			lc.cacheHit(time.Now())
+			s.finishSolve(w, logOutcome, lc, req, alg.Name(), entry, res, latency, true, age, effDeadlineMS)
 			return
 		}
 	}
+	lc.enterQueue(time.Now())
 
 	// Admission. Every shed answers 429 with the reason labeled on the
 	// rejection counter, echoed in X-Reject-Reason, and a Retry-After hint
@@ -429,7 +487,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Reject-Reason", reason)
 		w.Header().Set("Retry-After",
 			strconv.Itoa(retryAfterSeconds(len(s.queue), s.adm.workers, s.adm.serviceEstimate())))
-		fail(http.StatusTooManyRequests, format, args...)
+		fail(http.StatusTooManyRequests, "shed_"+reason, format, args...)
 	}
 
 	// Per-instance occupancy: reserve the slot first (Add returns the new
@@ -474,7 +532,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		defer func() { <-s.workers }()
 	case <-ctx.Done():
 		s.metrics.abandoned.Inc()
-		fail(statusClientClosedRequest, "client closed request while queued")
+		fail(statusClientClosedRequest, "abandoned", "client closed request while queued")
 		return
 	}
 
@@ -485,6 +543,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
+	lc.enterSolve(start)
 	var res *core.Anytime
 	cached := false
 	var age time.Duration
@@ -525,7 +584,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// not as a completed 200 that skews the latency and regret series.
 	if err := r.Context().Err(); err != nil {
 		s.metrics.abandoned.Inc()
-		fail(statusClientClosedRequest, "client closed request during solve")
+		fail(statusClientClosedRequest, "abandoned", "client closed request during solve")
 		return
 	}
 
@@ -537,14 +596,18 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	} else {
 		s.metrics.observe(req.Algorithm, entry.Name, res, latency)
 	}
-	s.finishSolve(w, logOutcome, req, alg.Name(), entry, res, latency, cached, age, effDeadlineMS)
+	// The solve phase ends exactly where it started plus the measured
+	// latency, keeping the span layout contiguous.
+	lc.enterEncode(start.Add(latency), latency)
+	s.finishSolve(w, logOutcome, lc, req, alg.Name(), entry, res, latency, cached, age, effDeadlineMS)
 }
 
-// finishSolve emits the one structured log line and the SolveResponse body
-// for a completed solve, whether it ran on this request's worker slot or was
-// served from the cache.
+// finishSolve emits the one structured log line, the Server-Timing header
+// and the SolveResponse body for a completed solve, whether it ran on this
+// request's worker slot or was served from the cache, then completes the
+// request's trace.
 func (s *Server) finishSolve(w http.ResponseWriter, logOutcome func(int, ...any),
-	req SolveRequest, algName string, entry *catalog.Entry, res *core.Anytime,
+	lc *reqLifecycle, req SolveRequest, algName string, entry *catalog.Entry, res *core.Anytime,
 	latency time.Duration, cached bool, age time.Duration, effDeadlineMS int64) {
 	attrs := []any{
 		"algorithm", algName,
@@ -594,7 +657,13 @@ func (s *Server) finishSolve(w http.ResponseWriter, logOutcome func(int, ...any)
 			resp.Assignments[i] = plan.Set(i, []int{})
 		}
 	}
+	w.Header().Set("Server-Timing", lc.serverTiming())
 	writeJSON(w, http.StatusOK, resp)
+	outcome := "served"
+	if res.Truncated {
+		outcome = "served_truncated"
+	}
+	lc.finish(http.StatusOK, outcome)
 }
 
 // statusClientClosedRequest is nginx's non-standard 499 — the closest thing

@@ -1,0 +1,163 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// The /debug/traces endpoints expose the in-daemon span store: a bounded,
+// tail-sampled ring of completed request traces. Like /metrics and the
+// /instances admin surface they carry no built-in authentication — deploy
+// them on the ops listener behind the same network controls (DESIGN.md §14).
+
+// TraceSummary is one row of the GET /debug/traces listing.
+type TraceSummary struct {
+	TraceID    string    `json:"trace_id"`
+	Start      time.Time `json:"start"`
+	DurationMS float64   `json:"duration_ms"`
+	Outcome    string    `json:"outcome"`
+	Instance   string    `json:"instance,omitempty"`
+	Algorithm  string    `json:"algorithm,omitempty"`
+	Status     int       `json:"status"`
+	Spans      int       `json:"spans"`
+}
+
+// TraceList is the GET /debug/traces response. SampledOut counts the plain
+// served traces tail sampling declined — dropped traces are counted, never
+// silently gone.
+type TraceList struct {
+	Capacity   int            `json:"capacity"`
+	Kept       int64          `json:"kept"`
+	SampledOut int64          `json:"sampled_out"`
+	Count      int            `json:"count"`
+	Traces     []TraceSummary `json:"traces"`
+}
+
+// SpanNode is one span with its children nested under it — the tree shape
+// GET /debug/traces/{id} answers with.
+type SpanNode struct {
+	obs.Span
+	DurationMS float64     `json:"duration_ms"`
+	Children   []*SpanNode `json:"children,omitempty"`
+}
+
+// TraceTree is the GET /debug/traces/{id} response: the record's summary
+// plus its spans nested parent→child. Roots has one entry per span whose
+// parent the server never recorded — normally exactly the request root
+// (whose own parent, if any, is the client's span).
+type TraceTree struct {
+	TraceID    string      `json:"trace_id"`
+	Start      time.Time   `json:"start"`
+	DurationMS float64     `json:"duration_ms"`
+	Outcome    string      `json:"outcome"`
+	Instance   string      `json:"instance,omitempty"`
+	Algorithm  string      `json:"algorithm,omitempty"`
+	Status     int         `json:"status"`
+	Roots      []*SpanNode `json:"roots"`
+}
+
+func durationMS(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
+
+func (s *Server) handleTracesList(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		writeError(w, http.StatusNotFound, "tracing disabled (start the server with a trace store)")
+		return
+	}
+	q := r.URL.Query()
+	outcome, instance := q.Get("outcome"), q.Get("instance")
+	var minDur time.Duration
+	if v := q.Get("min_duration_ms"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 {
+			writeError(w, http.StatusBadRequest, "min_duration_ms: want a non-negative number, got %q", v)
+			return
+		}
+		minDur = time.Duration(f * float64(time.Millisecond))
+	}
+	limit := s.traces.Cap()
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "limit: want a positive integer, got %q", v)
+			return
+		}
+		limit = n
+	}
+	list := TraceList{
+		Capacity:   s.traces.Cap(),
+		Kept:       s.traces.Kept(),
+		SampledOut: s.traces.SampledOut(),
+		Traces:     []TraceSummary{}, // [] not null when nothing matches
+	}
+	for _, rec := range s.traces.Snapshot() { // newest first
+		if outcome != "" && rec.Outcome != outcome {
+			continue
+		}
+		if instance != "" && rec.Instance != instance {
+			continue
+		}
+		if rec.Duration < minDur {
+			continue
+		}
+		list.Traces = append(list.Traces, TraceSummary{
+			TraceID:    rec.TraceID,
+			Start:      rec.Start,
+			DurationMS: durationMS(rec.Duration),
+			Outcome:    rec.Outcome,
+			Instance:   rec.Instance,
+			Algorithm:  rec.Algorithm,
+			Status:     rec.Status,
+			Spans:      len(rec.Spans),
+		})
+		if len(list.Traces) == limit {
+			break
+		}
+	}
+	list.Count = len(list.Traces)
+	writeJSON(w, http.StatusOK, list)
+}
+
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		writeError(w, http.StatusNotFound, "tracing disabled (start the server with a trace store)")
+		return
+	}
+	id := r.PathValue("id")
+	rec, ok := s.traces.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no retained trace %q (evicted, sampled out, or never seen)", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, traceTree(rec))
+}
+
+// traceTree nests a record's flat span slice into parent→child form. Spans
+// are already sorted by start time, so children appear in phase order.
+func traceTree(rec *obs.TraceRecord) TraceTree {
+	tree := TraceTree{
+		TraceID:    rec.TraceID,
+		Start:      rec.Start,
+		DurationMS: durationMS(rec.Duration),
+		Outcome:    rec.Outcome,
+		Instance:   rec.Instance,
+		Algorithm:  rec.Algorithm,
+		Status:     rec.Status,
+		Roots:      []*SpanNode{},
+	}
+	nodes := make(map[string]*SpanNode, len(rec.Spans))
+	for _, sp := range rec.Spans {
+		nodes[sp.SpanID] = &SpanNode{Span: sp, DurationMS: durationMS(sp.Duration)}
+	}
+	for _, sp := range rec.Spans { // second pass keeps input (start-time) order
+		n := nodes[sp.SpanID]
+		if parent, ok := nodes[sp.ParentID]; ok && sp.ParentID != sp.SpanID {
+			parent.Children = append(parent.Children, n)
+		} else {
+			tree.Roots = append(tree.Roots, n)
+		}
+	}
+	return tree
+}

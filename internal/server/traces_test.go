@@ -1,0 +1,404 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// postSolveTraced sends one /solve request with an optional traceparent and
+// returns the raw response plus its headers.
+func postSolveTraced(tb testing.TB, client *http.Client, url, traceparent string, req SolveRequest) (*http.Response, []byte) {
+	tb.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, url+"/solve", bytes.NewReader(body))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		hreq.Header.Set("Traceparent", traceparent)
+	}
+	resp, err := client.Do(hreq)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return resp, raw
+}
+
+// fetchTrace polls /debug/traces/{id} until the trace lands in the store
+// (the record is added after the response body flushes, so a fast client
+// can outrun it).
+func fetchTrace(tb testing.TB, client *http.Client, url, id string) TraceTree {
+	tb.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, err := client.Get(url + "/debug/traces/" + id)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			var tree TraceTree
+			if err := json.Unmarshal(raw, &tree); err != nil {
+				tb.Fatalf("decode trace %q: %v", raw, err)
+			}
+			return tree
+		}
+		if time.Now().After(deadline) {
+			tb.Fatalf("trace %s never appeared: %d %s", id, resp.StatusCode, raw)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestTraceEndToEnd drives one traced request through the full lifecycle:
+// client traceparent in, same ID on X-Request-ID and the traceparent echo,
+// Server-Timing phases on the response, and a span tree on /debug/traces/{id}
+// covering admission→queue→solve→encode with restart child spans, whose
+// phase durations sum exactly to the root duration.
+func TestTraceEndToEnd(t *testing.T) {
+	inst := testInstance(t, 200, 30, 4)
+	s, err := New(Config{Catalog: catalogFor(t, inst), Workers: 2, TraceCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	clientTrace, clientSpan := obs.NewTraceID(), obs.NewSpanID()
+	tp := obs.FormatTraceparent(clientTrace, clientSpan, true)
+	resp, raw := postSolveTraced(t, ts.Client(), ts.URL, tp, SolveRequest{Algorithm: "BLS", Restarts: 3, Seed: 7})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: %d %s", resp.StatusCode, raw)
+	}
+	var sr SolveResponse
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		t.Fatal(err)
+	}
+
+	// Satellite: X-Request-ID and the trace id are the same identifier when
+	// the client supplied a valid traceparent.
+	if got := resp.Header.Get("X-Request-ID"); got != clientTrace {
+		t.Errorf("X-Request-ID = %q, want client trace id %q", got, clientTrace)
+	}
+	echoTrace, echoSpan, _, ok := obs.ParseTraceparent(resp.Header.Get("Traceparent"))
+	if !ok || echoTrace != clientTrace {
+		t.Errorf("traceparent echo = %q, want trace %s", resp.Header.Get("Traceparent"), clientTrace)
+	}
+	st := obs.ParseServerTiming(resp.Header.Get("Server-Timing"))
+	for _, name := range []string{"queue", "solve", "total"} {
+		if _, present := st[name]; !present {
+			t.Errorf("Server-Timing %q missing %s", resp.Header.Get("Server-Timing"), name)
+		}
+	}
+	if st["total"] < st["queue"]+st["solve"] {
+		t.Errorf("Server-Timing total %.3f < queue %.3f + solve %.3f", st["total"], st["queue"], st["solve"])
+	}
+
+	tree := fetchTrace(t, ts.Client(), ts.URL, clientTrace)
+	if tree.Outcome != "served" || tree.Status != http.StatusOK {
+		t.Errorf("trace outcome=%q status=%d, want served/200", tree.Outcome, tree.Status)
+	}
+	if tree.Instance != "default" || tree.Algorithm != "BLS" {
+		t.Errorf("trace dims = %s/%s", tree.Instance, tree.Algorithm)
+	}
+	if len(tree.Roots) != 1 {
+		t.Fatalf("trace has %d roots, want 1", len(tree.Roots))
+	}
+	root := tree.Roots[0]
+	if root.Name != "request" || root.ParentID != clientSpan {
+		t.Errorf("root = %s (parent %q), want request under client span %q", root.Name, root.ParentID, clientSpan)
+	}
+	if echoSpan != root.SpanID {
+		t.Errorf("traceparent echoed span %q, want server root %q", echoSpan, root.SpanID)
+	}
+
+	// The acceptance criterion: phase spans are contiguous, so their int64
+	// durations sum exactly to the root's, and the root matches the
+	// response's recorded latency bound.
+	var phaseSum time.Duration
+	phases := make(map[string]time.Duration)
+	var restarts int
+	for _, ph := range root.Children {
+		phases[ph.Name] = ph.Duration
+		phaseSum += ph.Duration
+		for _, child := range ph.Children {
+			if child.Name == "restart" {
+				restarts++
+				if child.Attrs["slot"] == "" || child.Attrs["regret"] == "" {
+					t.Errorf("restart span missing attrs: %v", child.Attrs)
+				}
+			}
+		}
+	}
+	for _, want := range []string{"admission", "queue", "solve", "encode"} {
+		if _, present := phases[want]; !present {
+			t.Errorf("trace missing phase %q (have %v)", want, phases)
+		}
+	}
+	if phaseSum != root.Duration {
+		t.Errorf("phase durations sum to %v, root is %v", phaseSum, root.Duration)
+	}
+	if solveMS := float64(phases["solve"].Microseconds()) / 1e3; solveMS > sr.LatencyMS+1 {
+		t.Errorf("solve span %.3fms exceeds recorded latency %.3fms", solveMS, sr.LatencyMS)
+	}
+	if restarts == 0 {
+		t.Error("no restart child spans under the solve span")
+	}
+
+	// Satellite bugfix assertion at the metrics layer: admission +
+	// queue wait + solve + encode account for the request's total server
+	// time (the root span) within float tolerance.
+	histSum := s.metrics.queueWait.Sum()
+	for _, ph := range []string{"admission", "solve", "encode"} {
+		histSum += s.metrics.solvePhase.With(ph).Sum()
+	}
+	if total := root.Duration.Seconds(); math.Abs(histSum-total) > 0.005 {
+		t.Errorf("phase histograms sum to %.6fs, span total %.6fs", histSum, total)
+	}
+	if s.metrics.queueWait.Count() != 1 || s.metrics.solvePhase.With("solve").Count() != 1 {
+		t.Errorf("phase histogram counts: queue=%d solve=%d, want 1,1",
+			s.metrics.queueWait.Count(), s.metrics.solvePhase.With("solve").Count())
+	}
+
+	// List view: present unfiltered, filterable by outcome/instance, and
+	// excluded by an impossible min-duration.
+	var list TraceList
+	get := func(path string) {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get("/debug/traces")
+	if list.Count != 1 || list.Traces[0].TraceID != clientTrace || list.Kept != 1 {
+		t.Errorf("list = %+v, want the one kept trace", list)
+	}
+	get("/debug/traces?outcome=served&instance=default")
+	if list.Count != 1 {
+		t.Errorf("filtered list count = %d, want 1", list.Count)
+	}
+	get("/debug/traces?min_duration_ms=3600000")
+	if list.Count != 0 {
+		t.Errorf("min-duration filter kept %d traces, want 0", list.Count)
+	}
+	get("/debug/traces?outcome=shed_capacity")
+	if list.Count != 0 {
+		t.Errorf("outcome filter kept %d traces, want 0", list.Count)
+	}
+}
+
+// TestTracingDisabledBitIdentical extends PR 3's zero-perturbation proof to
+// span tracing: the same request against a traced and an untraced server
+// returns identical solver results, and the untraced server neither mints
+// trace headers nor serves /debug/traces.
+func TestTracingDisabledBitIdentical(t *testing.T) {
+	inst := testInstance(t, 200, 30, 4)
+	req := SolveRequest{Algorithm: "BLS", Restarts: 4, Seed: 42, IncludeAssignments: true}
+
+	run := func(traceCap int) (*http.Response, SolveResponse, string) {
+		s, err := New(Config{Catalog: catalogFor(t, inst), Workers: 2, TraceCapacity: traceCap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		resp, raw := postSolveTraced(t, ts.Client(), ts.URL, "", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve: %d %s", resp.StatusCode, raw)
+		}
+		var sr SolveResponse
+		if err := json.Unmarshal(raw, &sr); err != nil {
+			t.Fatal(err)
+		}
+		dresp, err := ts.Client().Get(ts.URL + "/debug/traces")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dresp.Body.Close()
+		return resp, sr, http.StatusText(dresp.StatusCode)
+	}
+
+	respOff, off, debugOff := run(0)
+	respOn, on, debugOn := run(64)
+
+	if off.TotalRegret != on.TotalRegret || off.Evals != on.Evals ||
+		off.RestartsCompleted != on.RestartsCompleted {
+		t.Errorf("traced solve diverged: off=(%v,%d,%d) on=(%v,%d,%d)",
+			off.TotalRegret, off.Evals, off.RestartsCompleted,
+			on.TotalRegret, on.Evals, on.RestartsCompleted)
+	}
+	offPlans, _ := json.Marshal(off.Assignments)
+	onPlans, _ := json.Marshal(on.Assignments)
+	if !bytes.Equal(offPlans, onPlans) {
+		t.Error("traced and untraced assignments differ")
+	}
+	if h := respOff.Header.Get("Traceparent"); h != "" {
+		t.Errorf("untraced server emitted traceparent %q", h)
+	}
+	if h := respOn.Header.Get("Traceparent"); h == "" {
+		t.Error("traced server emitted no traceparent")
+	}
+	if debugOff != http.StatusText(http.StatusNotFound) {
+		t.Errorf("disabled /debug/traces answered %s, want Not Found", debugOff)
+	}
+	if debugOn != http.StatusText(http.StatusOK) {
+		t.Errorf("enabled /debug/traces answered %s, want OK", debugOn)
+	}
+	// Request IDs without a client traceparent keep the legacy shape.
+	if id := respOff.Header.Get("X-Request-ID"); len(id) != len("00000000-000000") {
+		t.Errorf("legacy request id %q has unexpected shape", id)
+	}
+	if id := respOn.Header.Get("X-Request-ID"); len(id) != len("00000000-000000") {
+		t.Errorf("request id without client traceparent should stay legacy, got %q", id)
+	}
+}
+
+// TestShedTraceparentEchoAndRetention fills the admission capacity and
+// asserts the 429 still echoes the client's traceparent, and that the shed
+// trace is retained with its reason as the outcome.
+func TestShedTraceparentEchoAndRetention(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	inst := testInstance(t, 60, 10, 3)
+	cfg, release, started := gatedConfig(t, inst, 1, 0)
+	cfg.TraceCapacity = 32
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		status, _, _ := postSolve(t, ts.Client(), ts.URL, SolveRequest{Algorithm: "G-Order"})
+		if status != http.StatusOK {
+			t.Errorf("gated solve: %d", status)
+		}
+	}()
+	<-started // the one worker slot is now held
+
+	shedTrace := obs.NewTraceID()
+	tp := obs.FormatTraceparent(shedTrace, obs.NewSpanID(), true)
+	resp, raw := postSolveTraced(t, ts.Client(), ts.URL, tp, SolveRequest{Algorithm: "G-Order"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("expected 429, got %d %s", resp.StatusCode, raw)
+	}
+	if echo, _, _, ok := obs.ParseTraceparent(resp.Header.Get("Traceparent")); !ok || echo != shedTrace {
+		t.Errorf("429 traceparent echo = %q, want trace %s", resp.Header.Get("Traceparent"), shedTrace)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != shedTrace {
+		t.Errorf("429 X-Request-ID = %q, want %s", got, shedTrace)
+	}
+
+	tree := fetchTrace(t, ts.Client(), ts.URL, shedTrace)
+	if tree.Outcome != "shed_capacity" || tree.Status != http.StatusTooManyRequests {
+		t.Errorf("shed trace outcome=%q status=%d, want shed_capacity/429", tree.Outcome, tree.Status)
+	}
+
+	release()
+	wg.Wait()
+	ts.Close()
+	assertNoGoroutineLeak(t, baseline)
+}
+
+// TestTraceScrapeUnderLoad hammers /debug/traces reads against live solve
+// traffic (run under -race) and checks the store never exceeds its bound
+// and no goroutines leak.
+func TestTraceScrapeUnderLoad(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	inst := testInstance(t, 100, 15, 3)
+	s, err := New(Config{Catalog: catalogFor(t, inst), Workers: 4, TraceCapacity: 16, TraceKeepSlowest: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+
+	const writers, perWriter = 4, 20
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := ts.Client().Get(ts.URL + "/debug/traces")
+				if err != nil {
+					return
+				}
+				var list TraceList
+				_ = json.NewDecoder(resp.Body).Decode(&list)
+				resp.Body.Close()
+				if list.Count > 16 {
+					t.Errorf("list count %d exceeds capacity 16", list.Count)
+					return
+				}
+				for _, tr := range list.Traces {
+					resp, err := ts.Client().Get(ts.URL + "/debug/traces/" + tr.TraceID)
+					if err != nil {
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				tp := obs.FormatTraceparent(obs.NewTraceID(), obs.NewSpanID(), true)
+				resp, _ := postSolveTraced(t, ts.Client(), ts.URL, tp, SolveRequest{
+					Algorithm: "ALS", Restarts: 1, Seed: uint64(w*1000 + i),
+				})
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("solve %d/%d: %d", w, i, resp.StatusCode)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if n := s.traces.Len(); n > 16 {
+		t.Errorf("store holds %d traces, capacity 16", n)
+	}
+	ts.Close()
+	assertNoGoroutineLeak(t, baseline)
+}

@@ -52,6 +52,85 @@ func summarizeLatency(results []Result) LatencySummary {
 	}
 }
 
+// PhaseSummary aggregates the server's own phase attribution — parsed from
+// Server-Timing response headers — over every result that carried one,
+// splitting client-observed latency into queue wait, solve time, total
+// server time and the unattributed remainder (network, client scheduling).
+type PhaseSummary struct {
+	Count      int     `json:"count"`
+	QueueAvgMS float64 `json:"queue_avg_ms"`
+	QueueMaxMS float64 `json:"queue_max_ms"`
+	SolveAvgMS float64 `json:"solve_avg_ms"`
+	SolveMaxMS float64 `json:"solve_max_ms"`
+	// UnattributedAvgMS is the mean gap between client-observed latency and
+	// the server's total — what tracing cannot see from inside the daemon.
+	UnattributedAvgMS float64 `json:"unattributed_avg_ms"`
+}
+
+// summarizePhases folds the Server-Timing phases of every result that has
+// them (ServerTotalMS > 0 — a served or shed response from a tracing-aware
+// server).
+func summarizePhases(results []Result) PhaseSummary {
+	var p PhaseSummary
+	var unattr float64
+	for _, r := range results {
+		if r.ServerTotalMS == 0 {
+			continue
+		}
+		p.Count++
+		p.QueueAvgMS += r.ServerQueueMS
+		p.SolveAvgMS += r.ServerSolveMS
+		p.QueueMaxMS = max(p.QueueMaxMS, r.ServerQueueMS)
+		p.SolveMaxMS = max(p.SolveMaxMS, r.ServerSolveMS)
+		unattr += max(r.LatencyMS-r.ServerTotalMS, 0)
+	}
+	if p.Count > 0 {
+		n := float64(p.Count)
+		p.QueueAvgMS /= n
+		p.SolveAvgMS /= n
+		p.UnattributedAvgMS = unattr / n
+	}
+	return p
+}
+
+// DefaultSlowest is how many slowest-request rows BuildReport lists.
+const DefaultSlowest = 5
+
+// SlowRow is one of the report's slowest served requests: its trace ID (the
+// key into the daemon's /debug/traces/{id}) and the server's phase split.
+type SlowRow struct {
+	Index     int     `json:"i"`
+	TraceID   string  `json:"trace_id"`
+	Outcome   string  `json:"outcome"`
+	LatencyMS float64 `json:"latency_ms"`
+	QueueMS   float64 `json:"server_queue_ms"`
+	SolveMS   float64 `json:"server_solve_ms"`
+}
+
+// SlowestRows returns the n slowest 200s by client-observed latency, slowest
+// first — the rows worth opening in the trace store.
+func SlowestRows(results []Result, n int) []SlowRow {
+	var rows []SlowRow
+	for _, r := range results {
+		if r.Status != 200 || r.TraceID == "" {
+			continue
+		}
+		rows = append(rows, SlowRow{
+			Index:     r.Index,
+			TraceID:   r.TraceID,
+			Outcome:   r.Outcome,
+			LatencyMS: r.LatencyMS,
+			QueueMS:   r.ServerQueueMS,
+			SolveMS:   r.ServerSolveMS,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].LatencyMS > rows[j].LatencyMS })
+	if len(rows) > n {
+		rows = rows[:n]
+	}
+	return rows
+}
+
 // Report is the per-run JSON document mroamload emits: the reproducible
 // identity of the workload (config + trace digest), the observed outcome
 // and latency distributions, and the counterfactual-regret summary pricing
@@ -69,6 +148,16 @@ type Report struct {
 	WallMS   float64        `json:"wall_ms"`
 	Outcomes map[string]int `json:"outcomes"`
 	Latency  LatencySummary `json:"latency"`
+	// ServerPhases attributes client-observed latency to server phases via
+	// Server-Timing; zero Count against a pre-tracing server.
+	ServerPhases PhaseSummary `json:"server_phases"`
+	// Slowest lists the slowest served requests with their trace IDs, ready
+	// to be opened in the daemon's GET /debug/traces/{id}.
+	Slowest []SlowRow `json:"slowest,omitempty"`
+	// TraceChecks records span-tree validations run against the daemon's
+	// trace store after the replay (mroamload -trace-check), one line per
+	// validated trace. Empty unless the caller ran them.
+	TraceChecks []string `json:"trace_checks,omitempty"`
 	// SolveRegretAvg is the mean solver objective (the paper's total
 	// regret) over served responses — the quality axis the admission
 	// policies trade against availability.
@@ -88,14 +177,16 @@ type Report struct {
 // admission policy, and aggregates outcomes and latencies.
 func BuildReport(cfg Config, trace Trace, results []Result, params ServerParams, wall time.Duration) Report {
 	rep := Report{
-		Policy:      params.Policy,
-		Config:      cfg,
-		TraceSHA256: trace.SHA256(),
-		Requests:    len(trace),
-		WallMS:      float64(wall) / float64(time.Millisecond),
-		Outcomes:    make(map[string]int, 4),
-		Latency:     summarizeLatency(results),
-		Server:      params,
+		Policy:       params.Policy,
+		Config:       cfg,
+		TraceSHA256:  trace.SHA256(),
+		Requests:     len(trace),
+		WallMS:       float64(wall) / float64(time.Millisecond),
+		Outcomes:     make(map[string]int, 4),
+		Latency:      summarizeLatency(results),
+		ServerPhases: summarizePhases(results),
+		Slowest:      SlowestRows(results, DefaultSlowest),
+		Server:       params,
 	}
 	var regretSum float64
 	var regretN int

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -45,6 +46,19 @@ type Result struct {
 	TotalRegret float64 `json:"total_regret,omitempty"`
 	// RetryAfterS echoes the Retry-After header on 429s.
 	RetryAfterS int `json:"retry_after_s,omitempty"`
+	// TraceID is the W3C trace ID minted for this request and sent as its
+	// traceparent header; a slow or shed row can be looked up verbatim in
+	// the daemon's GET /debug/traces/{id}. IDs are minted at replay time,
+	// so they never enter the trace digest (the determinism contract).
+	TraceID string `json:"trace_id,omitempty"`
+	// ServerQueueMS/ServerSolveMS/ServerTotalMS are the server's own phase
+	// attribution parsed from the response's Server-Timing header, splitting
+	// client-observed latency into queue wait, solve time and total server
+	// time (the remainder is network and client overhead). Absent when the
+	// server sent no header.
+	ServerQueueMS float64 `json:"server_queue_ms,omitempty"`
+	ServerSolveMS float64 `json:"server_solve_ms,omitempty"`
+	ServerTotalMS float64 `json:"server_total_ms,omitempty"`
 	// Err carries the transport or decode error on OutcomeError results.
 	Err string `json:"err,omitempty"`
 }
@@ -114,6 +128,11 @@ func issue(ctx context.Context, client *http.Client, baseURL string, req Request
 		return res
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
+	// Every replayed request starts a trace: the server continues it (the
+	// trace ID doubles as X-Request-ID there), so a report row's trace_id
+	// keys straight into the daemon's /debug/traces.
+	res.TraceID = obs.NewTraceID()
+	httpReq.Header.Set("Traceparent", obs.FormatTraceparent(res.TraceID, obs.NewSpanID(), true))
 
 	issued := time.Now()
 	resp, err := client.Do(httpReq)
@@ -125,6 +144,11 @@ func issue(ctx context.Context, client *http.Client, baseURL string, req Request
 	raw, err := io.ReadAll(resp.Body)
 	res.LatencyMS = float64(time.Since(issued)) / float64(time.Millisecond)
 	res.Status = resp.StatusCode
+	if st := obs.ParseServerTiming(resp.Header.Get("Server-Timing")); len(st) > 0 {
+		res.ServerQueueMS = st["queue"]
+		res.ServerSolveMS = st["solve"]
+		res.ServerTotalMS = st["total"]
+	}
 	if err != nil {
 		res.Outcome, res.Err = OutcomeError, err.Error()
 		return res

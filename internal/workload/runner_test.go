@@ -239,3 +239,73 @@ func waitNoGoroutineLeak(t *testing.T, baseline int) {
 		time.Sleep(20 * time.Millisecond)
 	}
 }
+
+// TestRunTracePropagation replays a workload against a tracing-enabled
+// server and checks the end-to-end traceability contract: every result
+// carries its minted trace ID and the server's Server-Timing phase split,
+// the report aggregates phases and lists the slowest rows, and CheckTrace
+// validates a listed trace's span tree against the daemon.
+func TestRunTracePropagation(t *testing.T) {
+	ts := bootServer(t, server.Config{
+		Catalog: harnessCatalog(t), Workers: 2, QueueDepth: 8, TraceCapacity: 256,
+	})
+	cfg := Config{
+		Seed:       7,
+		Duration:   300 * time.Millisecond,
+		Rate:       80,
+		Algorithms: []string{"G-Order"},
+	}
+	trace, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	params, err := FetchServerParams(ctx, ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	results := Run(ctx, ts.URL, trace, ts.Client())
+	rep := BuildReport(cfg, trace, results, params, time.Since(start))
+
+	seen := make(map[string]bool)
+	for _, r := range results {
+		if r.TraceID == "" || len(r.TraceID) != 32 {
+			t.Fatalf("result %d has no 32-hex trace id: %q", r.Index, r.TraceID)
+		}
+		if seen[r.TraceID] {
+			t.Fatalf("trace id %s reused", r.TraceID)
+		}
+		seen[r.TraceID] = true
+		if r.Status == 200 {
+			if r.ServerTotalMS <= 0 {
+				t.Errorf("result %d served without Server-Timing total", r.Index)
+			}
+			if r.ServerTotalMS > r.LatencyMS+1 {
+				t.Errorf("result %d server total %.3fms exceeds client latency %.3fms",
+					r.Index, r.ServerTotalMS, r.LatencyMS)
+			}
+		}
+	}
+	if rep.ServerPhases.Count == 0 {
+		t.Fatal("report has no server phase summary despite Server-Timing responses")
+	}
+	if len(rep.Slowest) == 0 {
+		t.Fatal("report lists no slowest rows")
+	}
+	for _, row := range rep.Slowest {
+		if row.TraceID == "" {
+			t.Fatalf("slowest row %d has no trace id", row.Index)
+		}
+	}
+
+	// The slowest served request is the one worth opening: its trace must
+	// be retained (tail sampling always keeps the slow quantile at this
+	// volume) and pass the span-tree validation the smoke target runs.
+	desc, err := CheckTrace(ctx, ts.URL, rep.Slowest[0].TraceID, ts.Client(), 4)
+	if err != nil {
+		t.Fatalf("CheckTrace: %v", err)
+	}
+	t.Log(desc)
+}

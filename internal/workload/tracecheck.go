@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/server"
+)
+
+// CheckTrace fetches one trace from the daemon's span store and validates
+// the end-to-end contract the trace-smoke target asserts: the tree has a
+// single "request" root, its phase children cover at least minPhases
+// distinct lifecycle phases, and the phase durations sum to the root's
+// duration within tolerance (they are laid out contiguously server-side, so
+// the integer-nanosecond sum is exact; the tolerance only absorbs JSON
+// round-tripping). Returns a one-line description of the validated tree.
+func CheckTrace(ctx context.Context, baseURL, traceID string, client *http.Client, minPhases int) (string, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/debug/traces/"+traceID, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET /debug/traces/%s: status %d: %s", traceID, resp.StatusCode, truncateErr(raw))
+	}
+	var tree server.TraceTree
+	if err := json.Unmarshal(raw, &tree); err != nil {
+		return "", fmt.Errorf("decode trace %s: %w", traceID, err)
+	}
+	if tree.TraceID != traceID {
+		return "", fmt.Errorf("trace %s answered with id %s", traceID, tree.TraceID)
+	}
+	if len(tree.Roots) != 1 {
+		return "", fmt.Errorf("trace %s has %d roots, want 1", traceID, len(tree.Roots))
+	}
+	root := tree.Roots[0]
+	if root.Name != "request" {
+		return "", fmt.Errorf("trace %s root span is %q, want request", traceID, root.Name)
+	}
+	phases := make(map[string]time.Duration, len(root.Children))
+	var sum time.Duration
+	for _, ph := range root.Children {
+		phases[ph.Name] = ph.Duration
+		sum += ph.Duration
+	}
+	if len(phases) < minPhases {
+		return "", fmt.Errorf("trace %s covers %d phases %v, want >= %d", traceID, len(phases), phaseNames(phases), minPhases)
+	}
+	// 1ms or 1% of the root, whichever is larger: generous against an exact
+	// server-side invariant.
+	tol := max(time.Millisecond, root.Duration/100)
+	diff := sum - root.Duration
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > tol {
+		return "", fmt.Errorf("trace %s phases sum to %v but root is %v (tolerance %v)", traceID, sum, root.Duration, tol)
+	}
+	return fmt.Sprintf("trace %s ok: %d phases %v sum %v = root %v (outcome %s)",
+		traceID, len(phases), phaseNames(phases), sum, root.Duration, tree.Outcome), nil
+}
+
+func phaseNames(phases map[string]time.Duration) []string {
+	names := make([]string, 0, len(phases))
+	for name := range phases {
+		names = append(names, name)
+	}
+	// map order is random; sort for stable error messages
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}
