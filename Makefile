@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet fmt lint bench bench-json bench-serving scale-smoke repro examples clean check fuzz-smoke trace-demo catalog-demo cache-demo load-smoke trace-smoke
+.PHONY: all build test test-race vet fmt lint bench bench-json bench-serving scale-smoke repro examples clean check fuzz-smoke trace-demo catalog-demo cache-demo load-smoke trace-smoke variant-smoke
 
 all: build test
 
@@ -10,7 +10,7 @@ all: build test
 # suite, a short smoke run of every fuzz target, the serving demos
 # (multi-instance catalog, solve-result cache, reproducible load harness),
 # and the paper-scale coverage smoke.
-check: build lint test-race fuzz-smoke catalog-demo cache-demo load-smoke trace-smoke scale-smoke
+check: build lint test-race fuzz-smoke catalog-demo cache-demo load-smoke trace-smoke variant-smoke scale-smoke
 
 build:
 	$(GO) build ./...
@@ -169,6 +169,49 @@ trace-smoke:
 		|| { echo "trace-smoke: phase histogram missing from /metrics"; exit 1; }; \
 	grep -A1 '"trace_checks"' /tmp/mroam-trace-smoke.json | tail -1 | sed 's/^ *//;s/"//g'; \
 	echo "trace-smoke: OK (slowest trace validated end-to-end)"
+
+# variant-smoke is the regret-model gate in `check`: boot the daemon on the
+# base+zonal fleet file, solve the zonal instance with BLS and G-Global and
+# require the responses to echo the model kind; validate the same zonal
+# build's plans against the per-zone caps through `mroam plan` (whose
+# Plan.Validate consults the zonal model — the fixture cap 10 demonstrably
+# binds, see TestBuildZonal); and replay the unnamed base solve against the
+# pre-refactor golden, which must match byte-for-byte (latency aside) —
+# proof the model seam left base output untouched.
+VARIANT_SMOKE_ADDR ?= 127.0.0.1:18371
+variant-smoke:
+	@$(GO) build -o /tmp/mroamd-variant ./cmd/mroamd
+	@$(GO) build -o /tmp/mroam-variant ./cmd/mroam
+	@/tmp/mroam-variant plan -city NYC -scale 0.02 -seed 5 -alpha 2.0 -p 0.1 \
+		-model zonal -zone-cap 10 -alg BLS -restarts 2 -top 0 \
+		| grep -q 'zonal caps hold: cap 10' \
+		|| { echo "variant-smoke: BLS zonal plan failed cap validation"; exit 1; }
+	@/tmp/mroam-variant plan -city NYC -scale 0.02 -seed 5 -alpha 2.0 -p 0.1 \
+		-model zonal -zone-cap 10 -alg G-Global -top 0 \
+		| grep -q 'zonal caps hold: cap 10' \
+		|| { echo "variant-smoke: G-Global zonal plan failed cap validation"; exit 1; }
+	@/tmp/mroamd-variant -addr $(VARIANT_SMOKE_ADDR) -instances testdata/variant-demo.json \
+		-workers 2 > /tmp/mroamd-variant.log 2>&1 & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	up=0; \
+	for i in $$(seq 1 100); do \
+		curl -sf http://$(VARIANT_SMOKE_ADDR)/healthz >/dev/null && { up=1; break; }; \
+		sleep 0.2; \
+	done; \
+	[ $$up -eq 1 ] || { echo "variant-smoke: daemon never came up"; cat /tmp/mroamd-variant.log; exit 1; }; \
+	curl -s -d '{"instance":"zonal","algorithm":"BLS","restarts":2,"seed":7}' \
+		http://$(VARIANT_SMOKE_ADDR)/solve | grep -q '"model": "zonal"' \
+		|| { echo "variant-smoke: BLS response missing zonal model echo"; exit 1; }; \
+	curl -s -d '{"instance":"zonal","algorithm":"G-Global"}' \
+		http://$(VARIANT_SMOKE_ADDR)/solve | grep -q '"model": "zonal"' \
+		|| { echo "variant-smoke: G-Global response missing zonal model echo"; exit 1; }; \
+	curl -s -d '{"algorithm":"BLS","restarts":2,"seed":7}' http://$(VARIANT_SMOKE_ADDR)/solve \
+		| sed 's/"latency_ms": [0-9.eE+-]*/"latency_ms": 0/' > /tmp/mroam-variant-base.json; \
+	cmp -s /tmp/mroam-variant-base.json testdata/variant-base-solve.golden \
+		|| { echo "variant-smoke: base solve drifted from pre-refactor golden:"; \
+		     diff testdata/variant-base-solve.golden /tmp/mroam-variant-base.json; exit 1; }; \
+	echo "variant-smoke: OK (zonal caps hold, model echoed, base output byte-identical)"
 
 # One benchmark per table/figure of the paper plus ablations; see
 # EXPERIMENTS.md for a recorded run. -run=^$ skips the unit tests so the

@@ -105,7 +105,7 @@ func specDefaults(scale float64) catalog.Spec {
 func cmdGen(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
 	fs.SetOutput(out)
-	spec := catalog.Bind(fs, catalog.FieldDataset|catalog.FieldLambda, specDefaults(1.0))
+	spec := catalog.Bind(fs, catalog.FieldDataset|catalog.FieldLambda|catalog.FieldModel, specDefaults(1.0))
 	outDir := fs.String("out", "", "output directory (required)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -136,6 +136,14 @@ func cmdGen(args []string, out io.Writer) error {
 	_, stats := coverage.Compress(u)
 	fmt.Fprintf(out, "coverage at λ=%.0fm: %d corridors for %d covered trajectories (%.1fx compression)\n",
 		s.Lambda, stats.Corridors, stats.Covered, stats.Ratio)
+	if s.ModelKind() == core.ModelZonal {
+		// The dataset itself is model-free (the model binds at instance
+		// build), but previewing the partition here shows how the caps
+		// would slice this geography.
+		_, zones := catalog.ZonePartition(d.Billboards.Locations(), s.Model.ZoneMeters)
+		fmt.Fprintf(out, "zonal partition at %.0fm cells: %d occupied zones (cap %d per advertiser per zone)\n",
+			s.Model.ZoneMeters, zones, s.Model.ZoneCap)
+	}
 	return nil
 }
 
@@ -342,7 +350,7 @@ func cmdExp(args []string, out io.Writer) error {
 func cmdSim(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sim", flag.ContinueOnError)
 	fs.SetOutput(out)
-	spec := catalog.Bind(fs, catalog.FieldDataset|catalog.FieldData|catalog.FieldLambda, specDefaults(0.12))
+	spec := catalog.Bind(fs, catalog.FieldDataset|catalog.FieldData|catalog.FieldLambda|catalog.FieldModel, specDefaults(0.12))
 	days := fs.Int("days", 30, "simulation horizon in days")
 	arrivals := fs.Int("arrivals", 4, "expected proposals per day")
 	restarts := fs.Int("restarts", 2, "local search restarts per daily allocation")
@@ -371,12 +379,21 @@ func cmdSim(args []string, out io.Writer) error {
 		Gamma:            market.DefaultGamma,
 		Seed:             s.Seed,
 	}
+	banner := ""
+	if s.ModelKind() == core.ModelZonal {
+		// The simulator builds instances straight from the dataset's
+		// universe, so it derives its own zone partition with the same
+		// geometry the catalog would use.
+		zoneOf, zones := catalog.ZonePartition(d.Billboards.Locations(), s.Model.ZoneMeters)
+		cfg.ZoneOf, cfg.ZoneCap = zoneOf, s.Model.ZoneCap
+		banner = fmt.Sprintf(", zonal: %d zones at %.0fm, cap %d", zones, s.Model.ZoneMeters, s.Model.ZoneCap)
+	}
 	results, err := simulate.ComparePolicies(u, core.PaperAlgorithms(s.Seed, *restarts), cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "%d-day rolling market on %s (%d billboards, %d trips)\n",
-		*days, d.Config.City, u.NumBillboards(), u.NumTrajectories())
+	fmt.Fprintf(out, "%d-day rolling market on %s (%d billboards, %d trips%s)\n",
+		*days, d.Config.City, u.NumBillboards(), u.NumTrajectories(), banner)
 	tbl := report.NewTable("policy", "revenue", "cum regret", "satisfied", "proposals")
 	for _, name := range []string{"G-Order", "G-Global", "ALS", "BLS"} {
 		r := results[name]
@@ -450,6 +467,16 @@ func cmdPlan(args []string, out io.Writer) error {
 		return err
 	}
 	plan := alg.Solve(inst)
+	// Validate consults the instance's model, so this is the variant
+	// feasibility check (e.g. zonal per-zone caps) as well as the
+	// structural one — a solver returning an infeasible plan is a bug
+	// worth failing loudly on.
+	if err := plan.Validate(); err != nil {
+		return fmt.Errorf("%s returned an infeasible plan: %w", alg.Name(), err)
+	}
+	if zm, ok := inst.Model().(*core.ZonalModel); ok {
+		fmt.Fprintf(out, "zonal caps hold: cap %d over %d zones\n", zm.Cap(), zm.Zones())
+	}
 
 	if *outPath != "" {
 		f, err := os.Create(*outPath)

@@ -17,10 +17,17 @@
 //	curl -s localhost:8080/solve -d '{"instance":"sg","algorithm":"BLS"}'
 //	curl -s localhost:8080/instances
 //	curl -s -X PUT localhost:8080/instances/sg -d '{"city":"SG","scale":0.25}'
+//	curl -s -X PUT localhost:8080/instances/z -d '{"city":"NYC","model":{"kind":"zonal","zone_cap":40}}'
 //	curl -s localhost:8080/stats
 //	curl -s localhost:8081/metrics
 //	curl -s 'localhost:8081/debug/traces?outcome=served&min_duration_ms=100'
 //	curl -s localhost:8081/debug/traces/4bf92f3577b34da6a3ce929d0e0e4736
+//
+// Instances carry a regret model: the base MROAM objective by default, or
+// the zonal variant (-model zonal -zone-cap N, or a {"model": {...}} block
+// in a spec) capping each advertiser's counted influence per geographic
+// zone. Responses for variant instances echo the model kind, and
+// mroamd_requests_total and /debug/traces are labeled by it.
 //
 // Without -instances the dataset/market flags describe a single instance
 // named "default", preserving the original single-instance behavior. With
@@ -292,7 +299,8 @@ func buildCatalog(instancesPath string, flagSpec catalog.Spec, fs *flag.FlagSet,
 	var clash []string
 	fs.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "city", "data", "scale", "seed", "alpha", "p", "gamma", "lambda":
+		case "city", "data", "scale", "seed", "alpha", "p", "gamma", "lambda",
+			"model", "zone-cap", "zone-meters":
 			clash = append(clash, "-"+f.Name)
 		}
 	})

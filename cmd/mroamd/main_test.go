@@ -391,7 +391,7 @@ func TestRunOpsSurface(t *testing.T) {
 	if err := obs.ValidateExposition(body); err != nil {
 		t.Errorf("/metrics exposition invalid: %v\n%s", err, body)
 	}
-	if !strings.Contains(string(body), `mroamd_requests_total{algorithm="G-Order"} 1`) {
+	if !strings.Contains(string(body), `mroamd_requests_total{algorithm="G-Order",model="base"} 1`) {
 		t.Errorf("/metrics missing the served solve:\n%s", body)
 	}
 

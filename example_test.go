@@ -61,15 +61,19 @@ func ExampleNewUniverse() {
 	// Output: tenant 0: 6 shards, tenant 1: 3 shards
 }
 
-// The regret model of Equation 1, evaluated directly.
-func ExampleInstance_Regret() {
+// The regret model of Equation 1, evaluated directly through the model
+// seam: Instance.Model returns the variant the instance carries (the base
+// MROAM market unless WithModel attached another), and the model owns the
+// objective.
+func ExampleInstance_Model() {
 	u, _ := mroam.NewUniverse(1, []mroam.CoverageList{{0}})
 	inst, _ := mroam.NewInstance(u, []mroam.Advertiser{
 		{Demand: 10, Payment: 100},
 	}, 0.5)
-	fmt.Println(inst.Regret(0, 5))  // unsatisfied: 100·(1 − 0.5·5/10)
-	fmt.Println(inst.Regret(0, 10)) // exactly satisfied
-	fmt.Println(inst.Regret(0, 15)) // over-satisfied: 100·(15−10)/10
+	m := inst.Model()
+	fmt.Println(m.Regret(inst, 0, 5))  // unsatisfied: 100·(1 − 0.5·5/10)
+	fmt.Println(m.Regret(inst, 0, 10)) // exactly satisfied
+	fmt.Println(m.Regret(inst, 0, 15)) // over-satisfied: 100·(15−10)/10
 	// Output:
 	// 75
 	// 0

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/billboard"
 	"repro/internal/core"
 	"repro/internal/coverage"
 	"repro/internal/dataset"
@@ -27,6 +28,14 @@ type BuildInfo struct {
 	Corridors int `json:"corridors"`
 	// CompressionRatio is Trajectories / Corridors.
 	CompressionRatio float64 `json:"compression_ratio"`
+	// Model is the regret-model kind the instance carries ("base" or
+	// "zonal"), echoed through /instances, healthz and the CLI banners.
+	Model string `json:"model"`
+	// Zones and ZoneCap describe the zonal partition: the number of
+	// occupied geo-grid zones and the per-zone influence cap. Zero for the
+	// base model.
+	Zones   int   `json:"zones,omitempty"`
+	ZoneCap int64 `json:"zone_cap,omitempty"`
 	// BuildMS is the wall-clock build time in milliseconds.
 	BuildMS float64 `json:"build_ms"`
 }
@@ -113,6 +122,7 @@ func Build(s Spec) (*core.Instance, BuildInfo, error) {
 	}
 
 	var u *coverage.Universe
+	var bills *billboard.DB
 	var city string
 	if s.Tier == TierScale {
 		cfg, err := datasetConfig(s)
@@ -123,7 +133,7 @@ func Build(s Spec) (*core.Instance, BuildInfo, error) {
 		if err != nil {
 			return nil, BuildInfo{}, err
 		}
-		u, city = streamed.Universe, cfg.City.String()
+		u, bills, city = streamed.Universe, streamed.Billboards, cfg.City.String()
 	} else {
 		d, err := BuildDataset(s)
 		if err != nil {
@@ -133,7 +143,7 @@ func Build(s Spec) (*core.Instance, BuildInfo, error) {
 		if err != nil {
 			return nil, BuildInfo{}, err
 		}
-		u, city = du, d.Config.City.String()
+		u, bills, city = du, d.Billboards, d.Config.City.String()
 	}
 
 	cu, stats := coverage.Compress(u)
@@ -149,7 +159,23 @@ func Build(s Spec) (*core.Instance, BuildInfo, error) {
 		Advertisers:      inst.NumAdvertisers(),
 		Corridors:        stats.Corridors,
 		CompressionRatio: stats.Ratio,
-		BuildMS:          float64(time.Since(start).Microseconds()) / 1e3,
+		Model:            core.ModelBase,
 	}
+	// Corridor compression rewrites trajectory IDs but never billboard
+	// IDs, so the billboard DB's geometry indexes the compressed universe
+	// directly — zones are derived from real billboard locations.
+	if s.ModelKind() == core.ModelZonal {
+		zoneOf, zones := ZonePartition(bills.Locations(), s.Model.ZoneMeters)
+		zm, err := core.NewZonalModel(zoneOf, s.Model.ZoneCap)
+		if err != nil {
+			return nil, BuildInfo{}, err
+		}
+		inst, err = inst.WithModel(zm)
+		if err != nil {
+			return nil, BuildInfo{}, err
+		}
+		info.Model, info.Zones, info.ZoneCap = core.ModelZonal, zones, s.Model.ZoneCap
+	}
+	info.BuildMS = float64(time.Since(start).Microseconds()) / 1e3
 	return inst, info, nil
 }

@@ -135,6 +135,7 @@ func (c *Catalog) AddInstance(name string, inst *core.Instance) (*Entry, error) 
 			Advertisers:      inst.NumAdvertisers(),
 			Corridors:        u.NumIDs(),
 			CompressionRatio: ratio,
+			Model:            inst.Model().Kind(),
 		},
 		Instance: inst,
 	}

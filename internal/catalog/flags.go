@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"repro/internal/core"
 )
 
 // Fields selects which flag groups Bind registers, so each command exposes
@@ -21,9 +23,11 @@ const (
 	FieldLambda
 	// FieldMarket registers -alpha, -p and -gamma.
 	FieldMarket
+	// FieldModel registers -model, -zone-cap and -zone-meters.
+	FieldModel
 
 	// FieldsAll registers every Spec flag — the full instance pipeline.
-	FieldsAll = FieldDataset | FieldData | FieldLambda | FieldMarket
+	FieldsAll = FieldDataset | FieldData | FieldLambda | FieldMarket | FieldModel
 )
 
 // Flags is the handle Bind returns; read the parsed Spec back with Spec().
@@ -39,6 +43,9 @@ type Flags struct {
 	p          *float64
 	gamma      *float64
 	lambda     *float64
+	model      *string
+	zoneCap    *int64
+	zoneMeters *float64
 }
 
 // Bind registers the shared instance flags on fs — the one Spec-from-flags
@@ -66,6 +73,18 @@ func Bind(fs *flag.FlagSet, fields Fields, defaults Spec) *Flags {
 	if fields&FieldLambda != 0 {
 		f.lambda = fs.Float64("lambda", defaults.Lambda, "influence radius λ in meters")
 	}
+	if fields&FieldModel != 0 {
+		var cap int64
+		var meters float64
+		if m := defaults.Model; m != nil {
+			cap, meters = m.ZoneCap, m.ZoneMeters
+		}
+		f.model = fs.String("model", defaults.ModelKind(),
+			fmt.Sprintf("regret model: %q or %q (per-zone caps on counted influence)", core.ModelBase, core.ModelZonal))
+		f.zoneCap = fs.Int64("zone-cap", cap, "zonal model: per-zone cap on one advertiser's counted influence (required for -model zonal)")
+		f.zoneMeters = fs.Float64("zone-meters", meters,
+			fmt.Sprintf("zonal model: zone grid cell size in meters (0 = %dm)", DefaultZoneMeters))
+	}
 	return f
 }
 
@@ -84,6 +103,13 @@ func (f *Flags) Spec() Spec {
 	}
 	if f.lambda != nil {
 		s.Lambda = *f.lambda
+	}
+	if f.model != nil {
+		if *f.model == core.ModelBase && *f.zoneCap == 0 && *f.zoneMeters == 0 {
+			s.Model = nil // canonical base spec carries no model block
+		} else {
+			s.Model = &ModelSpec{Kind: *f.model, ZoneCap: *f.zoneCap, ZoneMeters: *f.zoneMeters}
+		}
 	}
 	return s
 }
@@ -131,9 +157,14 @@ func ReadSpecsFile(path string) ([]Spec, error) {
 }
 
 // Describe renders the human-readable parameter banner the CLI prints:
-// "α=100%, p=5%, γ=0.50, λ=100m".
+// "α=100%, p=5%, γ=0.50, λ=100m" for the base model, with a
+// ", model=zonal(cap=40, zone=1000m)" suffix when a variant is selected.
 func (s Spec) Describe() string {
 	n := s.Normalized()
-	return fmt.Sprintf("α=%.0f%%, p=%.0f%%, γ=%.2f, λ=%.0fm",
+	base := fmt.Sprintf("α=%.0f%%, p=%.0f%%, γ=%.2f, λ=%.0fm",
 		n.Alpha*100, n.P*100, *n.Gamma, n.Lambda)
+	if n.ModelKind() == core.ModelZonal {
+		base += fmt.Sprintf(", model=zonal(cap=%d, zone=%.0fm)", n.Model.ZoneCap, n.Model.ZoneMeters)
+	}
+	return base
 }

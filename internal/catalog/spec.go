@@ -80,6 +80,9 @@ type Spec struct {
 	// Lambda is the influence radius λ in meters; zero selects
 	// market.DefaultLambda.
 	Lambda float64 `json:"lambda,omitempty"`
+	// Model selects the regret model the built instance carries; nil (and
+	// the absent JSON block) is the base MROAM model. See ModelSpec.
+	Model *ModelSpec `json:"model,omitempty"`
 }
 
 // GammaPtr is a convenience for building Specs with an explicit γ.
@@ -125,6 +128,7 @@ func (s Spec) Normalized() Spec {
 	if s.Lambda == 0 {
 		s.Lambda = market.DefaultLambda
 	}
+	s.Model = s.normalizedModel()
 	return s
 }
 
@@ -180,5 +184,5 @@ func (s Spec) Validate() error {
 	if s.Lambda <= 0 {
 		return fmt.Errorf("catalog: lambda %v must be positive", s.Lambda)
 	}
-	return nil
+	return validateModel(s.Model)
 }

@@ -20,6 +20,10 @@ func TestSpecJSONRoundTrip(t *testing.T) {
 		{Name: "sg-dense", City: "SG", Scale: 0.5, Seed: 7, Alpha: 1.2, P: 0.2,
 			Gamma: GammaPtr(0), Lambda: 150}, // γ=0 must survive the trip
 		{Name: "from-disk", Data: "data/nyc", Alpha: 0.8, P: 0.05},
+		{Name: "zonal-default-grid", City: "NYC", Scale: 0.02, Seed: 5,
+			Model: &ModelSpec{Kind: "zonal", ZoneCap: 40}},
+		{Name: "zonal-fine-grid", City: "SG", Scale: 0.1, Seed: 9,
+			Model: &ModelSpec{Kind: "zonal", ZoneCap: 12, ZoneMeters: 500}},
 		DefaultSpec(),
 	}
 	got, err := json.MarshalIndent(specs, "", "  ")

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestObjectiveStaysBehindModelSeam walks every Go file outside
+// internal/core and fails on direct calls to the Instance-level objective —
+// the two-argument Regret/Satisfied/Dual forms. Outside callers must go
+// through Plan (whose one-argument accessors are the supported read API) or
+// the Model interface (whose three-argument forms name the variant
+// explicitly); a direct Instance call would silently bypass whichever model
+// the instance carries the moment someone copies it into variant-unaware
+// code. The check is textual on purpose: it covers examples, commands and
+// tests that a type-based audit inside this package could not see.
+func TestObjectiveStaysBehindModelSeam(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root not at %s: %v", root, err)
+	}
+	coreDir := filepath.Join(root, "internal", "core")
+
+	var violations []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch {
+			case path == coreDir, d.Name() == ".git", d.Name() == "testdata":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(root, path)
+		for i, line := range strings.Split(string(data), "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "//") {
+				continue
+			}
+			for _, meth := range []string{".Regret(", ".Satisfied(", ".Dual("} {
+				for col := 0; ; {
+					j := strings.Index(line[col:], meth)
+					if j < 0 {
+						break
+					}
+					col += j + len(meth)
+					if argCount(line[col:]) == 2 {
+						violations = append(violations,
+							fmt.Sprintf("%s:%d: %s", rel, i+1, strings.TrimSpace(line)))
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) > 0 {
+		t.Errorf("direct Instance.Regret/Satisfied/Dual calls outside internal/core "+
+			"(route them through Plan or the Model interface):\n  %s",
+			strings.Join(violations, "\n  "))
+	}
+}
+
+// argCount counts the top-level comma-separated arguments of a call whose
+// opening parenthesis has just been consumed, returning -1 if the call does
+// not close on this line (multi-line calls to these short accessors do not
+// occur; a miss here fails loudly in review, not silently).
+func argCount(rest string) int {
+	depth, args := 0, 1
+	for _, r := range rest {
+		switch r {
+		case '(', '[', '{':
+			depth++
+		case ')', ']', '}':
+			if r == ')' && depth == 0 {
+				return args
+			}
+			depth--
+		case ',':
+			if depth == 0 {
+				args++
+			}
+		}
+	}
+	return -1
+}
+
+// TestBoundaryGateCatchesViolations pins the gate's own detector: the exact
+// call shapes it must flag and the Plan/Model shapes it must allow.
+func TestBoundaryGateCatchesViolations(t *testing.T) {
+	cases := []struct {
+		rest string // text after the matched ".Regret(" etc.
+		want int
+	}{
+		{"0, 5)", 2},                 // Instance form: flag
+		{"i, plan.Influence(i))", 2}, // Instance form, nested call: flag
+		{"i)", 1},                    // Plan form: allow
+		{"inst, 0, 5)", 3},           // Model form: allow
+		{"in, i, achieved)", 3},      // Model form: allow
+		{"ctx,", -1},                 // spills to next line: surfaced as -1
+		{"f(a, b), g(c, d))", 2},     // two nested two-arg calls
+	}
+	for _, c := range cases {
+		if got := argCount(c.rest); got != c.want {
+			t.Errorf("argCount(%q) = %d, want %d", c.rest, got, c.want)
+		}
+	}
+}

@@ -29,8 +29,9 @@ package core
 // the freed billboard into the other advertisers' heaps, and whole-set
 // operations (ExchangeSets, CopyFrom) invalidate the affected heaps. The
 // cache is only used under the union-coverage measure (impression threshold
-// k = 1); for k > 1 gains are not submodular and bestBillboardFor falls
-// back to the full scan.
+// k = 1) and the base regret model; for k > 1 gains are not submodular, and
+// constrained models (model.go) filter candidates by feasibility, so both
+// cases make bestBillboardFor fall back to the full scan.
 
 // CacheStats counts the effectiveness of the greedy's billboard selection
 // engine for one plan. A "candidate" is an unassigned billboard with
@@ -229,10 +230,13 @@ const celfMinBillboards = 400
 // planUsesCELF reports whether bestBillboardFor should route through the
 // gain cache for this plan. The impression-threshold check is a
 // correctness requirement — k > 1 gains are not submodular — and applies
-// in every mode; the size threshold is a performance heuristic and only
-// applies in celfAuto.
+// in every mode, as does the base-model check: a constrained model can
+// declare heap tops infeasible, and popping them would permanently lose
+// their entries (the heap only re-inserts on release), so non-base models
+// always take the full scan with its per-candidate CanAssign filter. The
+// size threshold is a performance heuristic and only applies in celfAuto.
 func planUsesCELF(p *Plan) bool {
-	if p.inst.Impressions() != 1 {
+	if p.inst.Impressions() != 1 || !p.inst.base {
 		return false
 	}
 	switch celfMode {
@@ -252,24 +256,13 @@ func bestBillboardCELF(p *Plan, i int) (best int, ok bool) {
 	c := p.gainCacheFor(i)
 	curRegret := p.Regret(i)
 	curInfl := p.Influence(i)
-	a := p.inst.Advertiser(i)
 
-	// C such that key1(b) ≤ C·r̂(b) for every unassigned b (see file
-	// comment). The crossing term R(S_i)/t only matters when some
-	// billboard could actually cross the remaining demand t, which
-	// requires a degree of at least t; otherwise the exact non-crossing
-	// slope L·γ/d is the bound. When the advertiser is already satisfied,
-	// key1 ≤ 0 for every billboard (extra influence only adds excessive
-	// regret), so C = 0 remains a valid bound.
-	var cBound float64
-	if int64(curInfl) < a.Demand {
-		cBound = a.Payment * p.inst.Gamma() / float64(a.Demand)
-		if t := a.Demand - int64(curInfl); t <= int64(u.MaxDegree()) {
-			if rb := curRegret / float64(t); rb > cBound {
-				cBound = rb
-			}
-		}
-	}
+	// C such that key1(b) ≤ C·r̂(b) for every unassigned b — the model's
+	// admissibility contract (Model.MarginalUpperBound). For BaseModel the
+	// bound is max(L·γ/d, R(S_i)/t) while unsatisfied and 0 once satisfied;
+	// TestModelMarginalUpperBound property-checks admissibility for every
+	// shipped model.
+	cBound := p.inst.model.MarginalUpperBound(p.inst, i, curInfl, curRegret)
 
 	best = -1
 	var bestKey1, bestKey2 float64

@@ -35,11 +35,14 @@ func bestBillboardFor(p *Plan, i int) (best int, ok bool) {
 }
 
 // bestBillboardScan is the reference O(|U|·deg) implementation of
-// bestBillboardFor: evaluate every unassigned billboard.
+// bestBillboardFor: evaluate every unassigned billboard. Under a non-base
+// model, billboards the model's CanAssign hook rejects are skipped before
+// they count as candidates — the greedy only ever selects feasible moves.
 func bestBillboardScan(p *Plan, i int) (best int, ok bool) {
 	u := p.inst.Universe()
 	curRegret := p.Regret(i)
 	curInfl := p.Influence(i)
+	checkFeasible := !p.inst.base
 	var bestKey1, bestKey2 float64
 	var candidates int64
 	best = -1
@@ -49,6 +52,9 @@ func bestBillboardScan(p *Plan, i int) (best int, ok bool) {
 		}
 		deg := u.Degree(b)
 		if deg == 0 {
+			continue
+		}
+		if checkFeasible && !p.inst.model.CanAssign(p, i, b) {
 			continue
 		}
 		candidates++

@@ -33,6 +33,11 @@ type Instance struct {
 	advertisers []Advertiser
 	gamma       float64
 	impressions int // influence threshold k; 1 = union coverage
+	// model owns the objective and feasibility semantics (model.go); base
+	// caches whether it is the canonical BaseModel so the hot-path regret
+	// evaluations stay inlined closed forms instead of interface dispatch.
+	model Model
+	base  bool
 }
 
 // NewInstance validates and constructs an MROAM instance. Advertiser IDs
@@ -66,8 +71,32 @@ func NewInstanceWithImpressions(u *coverage.Universe, advertisers []Advertiser, 
 			return nil, fmt.Errorf("core: advertiser %d payment %v < 0", i, advertisers[i].Payment)
 		}
 	}
-	return &Instance{universe: u, advertisers: advertisers, gamma: gamma, impressions: k}, nil
+	return &Instance{universe: u, advertisers: advertisers, gamma: gamma, impressions: k,
+		model: BaseModel{}, base: true}, nil
 }
+
+// WithModel returns a copy of the instance carrying the given regret model
+// (nil restores BaseModel). Plans and solvers built from the returned
+// instance evaluate the model's objective and consult its feasibility hooks;
+// the receiver is unchanged, so base and variant instances over the same
+// universe can coexist.
+func (in *Instance) WithModel(m Model) (*Instance, error) {
+	if m == nil {
+		m = BaseModel{}
+	}
+	if zm, ok := m.(*ZonalModel); ok && len(zm.zoneOf) != in.universe.NumBillboards() {
+		return nil, fmt.Errorf("core: zonal model covers %d billboards, universe has %d",
+			len(zm.zoneOf), in.universe.NumBillboards())
+	}
+	c := *in
+	c.model = m
+	_, c.base = m.(BaseModel)
+	return &c, nil
+}
+
+// Model returns the instance's regret model (BaseModel unless WithModel
+// attached another).
+func (in *Instance) Model() Model { return in.model }
 
 // MustInstance is NewInstance that panics on error, for tests and hand-built
 // examples.
@@ -94,7 +123,8 @@ func (in *Instance) Gamma() float64 { return in.gamma }
 // Impressions returns the influence threshold k (1 = union coverage).
 func (in *Instance) Impressions() int { return in.impressions }
 
-// Regret evaluates Equation 1 for advertiser i achieving the given influence:
+// Regret evaluates the model's regret for advertiser i achieving the given
+// influence. For the default BaseModel this is Equation 1:
 //
 //	R(S_i) = L_i·(1 − γ·I(S_i)/I_i)  if I(S_i) < I_i
 //	R(S_i) = L_i·(I(S_i) − I_i)/I_i  otherwise
@@ -102,7 +132,18 @@ func (in *Instance) Impressions() int { return in.impressions }
 // The first branch is the revenue regret of an unsatisfied advertiser, the
 // second the excessive-influence (opportunity-cost) regret of an
 // over-satisfied one. Regret is 0 exactly when I(S_i) = I_i (or L_i = 0).
+// The base branch is inlined (no interface dispatch) so the solvers' hot
+// loops keep their pre-Model cost.
 func (in *Instance) Regret(i int, achieved int) float64 {
+	if in.base {
+		return in.baseRegret(i, achieved)
+	}
+	return in.model.Regret(in, i, achieved)
+}
+
+// baseRegret is Equation 1's closed form, shared by the base fast path and
+// any model that keeps the paper's objective.
+func (in *Instance) baseRegret(i int, achieved int) float64 {
 	a := in.advertisers[i]
 	d := float64(a.Demand)
 	if int64(achieved) < a.Demand {
@@ -112,13 +153,21 @@ func (in *Instance) Regret(i int, achieved int) float64 {
 }
 
 // Satisfied reports whether the given achieved influence meets advertiser
-// i's demand.
+// i's demand under the instance's model.
 func (in *Instance) Satisfied(i int, achieved int) bool {
+	if in.base {
+		return in.baseSatisfied(i, achieved)
+	}
+	return in.model.Satisfied(in, i, achieved)
+}
+
+func (in *Instance) baseSatisfied(i int, achieved int) bool {
 	return int64(achieved) >= in.advertisers[i].Demand
 }
 
-// Dual evaluates the rewired objective R′ of Equation 2, the revenue-like
-// quantity whose maximization is dual to minimizing R (§6.3):
+// Dual evaluates the model's rewired objective R′. For BaseModel this is
+// Equation 2, the revenue-like quantity whose maximization is dual to
+// minimizing R (§6.3):
 //
 //	R′(S_i) = L_i·I(S_i)/I_i             if I(S_i) < I_i
 //	R′(S_i) = L_i − L_i·(I(S_i) − I_i)/I_i  otherwise
@@ -126,6 +175,13 @@ func (in *Instance) Satisfied(i int, achieved int) bool {
 // R(S_i) + R′(S_i) = L_i whenever γ = 1; in general R′(S_i) = L_i iff
 // R(S_i) = 0 (for L_i > 0).
 func (in *Instance) Dual(i int, achieved int) float64 {
+	if in.base {
+		return in.baseDual(i, achieved)
+	}
+	return in.model.Dual(in, i, achieved)
+}
+
+func (in *Instance) baseDual(i int, achieved int) float64 {
 	a := in.advertisers[i]
 	d := float64(a.Demand)
 	if int64(achieved) < a.Demand {

@@ -22,7 +22,10 @@ import (
 // state outright, results land in a slot indexed by iteration, and the
 // caller reduces them serially in iteration order, which makes the selected
 // plan, its total regret and the aggregated Evals counter bit-identical to
-// the serial run for any worker count.
+// the serial run for any worker count. Model variants (model.go) need no
+// handling here: the seeding, greedy and search helpers each consult the
+// instance's Model, and a Model is stateless across plans, so restarts stay
+// embarrassingly parallel under every variant.
 //
 // Cancellation rides the same slot structure: a job interrupted by the
 // context leaves its partially improved plan in the partials slot instead of

@@ -329,7 +329,9 @@ func (p *Plan) Validate() error {
 			return fmt.Errorf("core: advertiser %d cached regret %v, recomputed %v", i, p.regrets[i], want)
 		}
 	}
-	return nil
+	// The model's own feasibility constraints (per-zone caps for
+	// ZonalModel; nothing for BaseModel) are part of a plan's validity.
+	return p.inst.model.Validate(p)
 }
 
 // Breakdown splits the total regret into its two components as reported in

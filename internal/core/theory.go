@@ -11,37 +11,23 @@ import (
 // Package tests verify the theorem's inequality ρ·R′(S) ≥ R′(OPT) against
 // the exact solver on small instances.
 
-// Psi returns ψ = max_o I({o}) / I, the ratio of the largest single
-// billboard influence to advertiser i's demand (Lemma 6.1). Values ≥ 1 mean
-// one billboard alone can satisfy the demand, which voids the
-// (1−ψ)^{−|U|} branch of the bound.
+// Psi returns the instance model's ψ statistic for advertiser i (Lemma
+// 6.1). For BaseModel this is max_o I({o}) / I_i, the ratio of the largest
+// single billboard influence to the demand; constrained models may exclude
+// billboards no feasible set can contain. Values ≥ 1 mean one billboard
+// alone can satisfy the demand, which voids the (1−ψ)^{−|U|} branch of the
+// bound.
 func Psi(inst *Instance, i int) float64 {
-	u := inst.Universe()
-	maxDeg := 0
-	for b := 0; b < u.NumBillboards(); b++ {
-		if d := u.Degree(b); d > maxDeg {
-			maxDeg = d
-		}
-	}
-	return float64(maxDeg) / float64(inst.Advertiser(i).Demand)
+	return inst.model.Psi(inst, i)
 }
 
-// ApproximationFactor returns Theorem 2's ρ = max(1 + r·|U|, (1−ψ)^{−|U|})
-// for advertiser i under improvement ratio r. It returns +Inf when ψ ≥ 1
-// (the second branch diverges), mirroring the theory: the guarantee is
-// only informative when no single billboard dwarfs the demand.
+// ApproximationFactor returns the model's Theorem 2 factor — for BaseModel
+// ρ = max(1 + r·|U|, (1−ψ)^{−|U|}) — for advertiser i under improvement
+// ratio r. It returns +Inf when ψ ≥ 1 (the second branch diverges),
+// mirroring the theory: the guarantee is only informative when no single
+// billboard dwarfs the demand.
 func ApproximationFactor(inst *Instance, i int, r float64) float64 {
-	if r < 0 {
-		r = 0
-	}
-	nU := float64(inst.Universe().NumBillboards())
-	first := 1 + r*nU
-	psi := Psi(inst, i)
-	if psi >= 1 {
-		return math.Inf(1)
-	}
-	second := math.Pow(1-psi, -nU)
-	return math.Max(first, second)
+	return inst.model.ApproximationFactor(inst, i, r)
 }
 
 // IsApproxLocalMaximum reports whether the plan's set for advertiser i is a
@@ -51,6 +37,7 @@ func ApproximationFactor(inst *Instance, i int, r float64) float64 {
 // billboard and direction when not.
 func IsApproxLocalMaximum(p *Plan, i int, r float64) (ok bool, violator int, direction string) {
 	inst := p.Instance()
+	checkFeasible := !inst.base
 	base := inst.Dual(i, p.Influence(i))
 	threshold := (1 + r) * base
 	for _, b := range p.Set(i, nil) {
@@ -60,6 +47,11 @@ func IsApproxLocalMaximum(p *Plan, i int, r float64) (ok bool, violator int, dir
 		}
 	}
 	for _, b := range p.UnassignedBillboards(nil) {
+		// Under a constrained model the neighborhood is the feasible moves
+		// only: an addition the model forbids cannot witness non-maximality.
+		if checkFeasible && !inst.model.CanAssign(p, i, b) {
+			continue
+		}
 		gain := p.GainOf(i, b)
 		if inst.Dual(i, p.Influence(i)+gain) > threshold+1e-9 {
 			return false, b, "add"
@@ -82,6 +74,7 @@ func DualLocalSearch(p *Plan, i int, r float64, maxMoves int) int {
 		maxMoves = 10000
 	}
 	inst := p.Instance()
+	checkFeasible := !inst.base
 	moves := 0
 	for moves < maxMoves {
 		base := inst.Dual(i, p.Influence(i))
@@ -89,6 +82,9 @@ func DualLocalSearch(p *Plan, i int, r float64, maxMoves int) int {
 		improved := false
 
 		for _, b := range p.UnassignedBillboards(nil) {
+			if checkFeasible && !inst.model.CanAssign(p, i, b) {
+				continue
+			}
 			gain := p.GainOf(i, b)
 			if inst.Dual(i, p.Influence(i)+gain) > threshold+1e-9 {
 				p.Assign(b, i)
@@ -110,6 +106,9 @@ func DualLocalSearch(p *Plan, i int, r float64, maxMoves int) int {
 		swap:
 			for _, out := range p.Set(i, nil) {
 				for _, in := range p.UnassignedBillboards(nil) {
+					if checkFeasible && !inst.model.CanSwap(p, i, out, in) {
+						continue
+					}
 					delta := p.SwapDeltaOf(i, out, in)
 					if inst.Dual(i, p.Influence(i)+delta) > threshold+1e-9 {
 						p.Replace(out, in)

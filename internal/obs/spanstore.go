@@ -18,9 +18,12 @@ type TraceRecord struct {
 	// "shed_<reason>", "abandoned" or "error". Tail sampling keeps every
 	// non-"served" record unconditionally.
 	Outcome string `json:"outcome"`
-	// Instance and Algorithm are the request's routing dimensions.
+	// Instance, Algorithm and Model are the request's routing dimensions.
 	Instance  string `json:"instance,omitempty"`
 	Algorithm string `json:"algorithm,omitempty"`
+	// Model is the resolved instance's regret-model kind ("base"/"zonal"),
+	// so /debug/traces can filter variant traffic.
+	Model string `json:"model,omitempty"`
 	// Status is the HTTP status the client saw.
 	Status int    `json:"status"`
 	Spans  []Span `json:"spans"`

@@ -43,6 +43,7 @@ type reqLifecycle struct {
 
 	instance  string
 	algorithm string
+	model     string
 	done      bool
 }
 
@@ -79,12 +80,14 @@ func (s *Server) startLifecycle(w http.ResponseWriter, r *http.Request, start ti
 }
 
 // noteTarget records the request's routing dimensions once the instance
-// resolved and the algorithm validated.
-func (l *reqLifecycle) noteTarget(instance, algorithm string) {
-	l.instance, l.algorithm = instance, algorithm
+// resolved and the algorithm validated. model is the resolved instance's
+// regret-model kind.
+func (l *reqLifecycle) noteTarget(instance, algorithm, model string) {
+	l.instance, l.algorithm, l.model = instance, algorithm, model
 	if l.root != nil {
 		l.root.SetAttr("instance", instance)
 		l.root.SetAttr("algorithm", algorithm)
+		l.root.SetAttr("model", model)
 	}
 }
 
@@ -174,6 +177,7 @@ func (l *reqLifecycle) finish(status int, outcome string) {
 		Outcome:   outcome,
 		Instance:  l.instance,
 		Algorithm: l.algorithm,
+		Model:     l.model,
 		Status:    status,
 		Spans:     spans,
 	})

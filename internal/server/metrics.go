@@ -20,7 +20,7 @@ type metrics struct {
 	reg   *obs.Registry
 	cat   *catalog.Catalog
 
-	requests         *obs.CounterVec   // completed solves by algorithm
+	requests         *obs.CounterVec   // completed solves by algorithm × model
 	instanceReqs     *obs.CounterVec   // completed solves by catalog instance
 	instanceInflight *obs.GaugeVec     // admitted (queued or executing) requests by instance
 	reloads          *obs.Counter      // successful PUT /instances loads
@@ -55,7 +55,14 @@ func newMetrics(cat *catalog.Catalog) *metrics {
 	reg := obs.NewRegistry()
 	m := &metrics{start: time.Now(), reg: reg, cat: cat}
 	m.requests = reg.CounterVec("mroamd_requests_total",
-		"Completed solve requests by algorithm.", "algorithm")
+		"Completed solve requests by algorithm and regret-model kind.",
+		"algorithm", "model")
+	// Pre-create the base-model series for every solver so the exposition
+	// shows explicit zeros before the first request (variant series appear
+	// when a variant instance first serves).
+	for _, alg := range []string{"ALS", "BLS", "G-Global", "G-Order"} {
+		m.requests.With(alg, core.ModelBase)
+	}
 	m.instanceReqs = reg.CounterVec("mroamd_instance_requests_total",
 		"Completed solve requests by catalog instance.", "instance")
 	m.instanceInflight = reg.GaugeVec("mroamd_instance_inflight",
@@ -126,8 +133,8 @@ func newMetrics(cat *catalog.Catalog) *metrics {
 
 // observe records one finished solve that ran solver work on behalf of this
 // request: the request-level aggregates plus the work counters.
-func (m *metrics) observe(algorithm, instance string, res *core.Anytime, latency time.Duration) {
-	m.observeRequest(algorithm, instance, res, latency)
+func (m *metrics) observe(algorithm, instance, model string, res *core.Anytime, latency time.Duration) {
+	m.observeRequest(algorithm, instance, model, res, latency)
 	m.restarts.Add(int64(res.RestartsCompleted))
 	m.evals.Add(res.Evals)
 	m.cache.With("hit").Add(res.Cache.Hits)
@@ -141,8 +148,8 @@ func (m *metrics) observe(algorithm, instance string, res *core.Anytime, latency
 // flight actually ran the solve. Solve-cache hits and coalesced followers go
 // through here, so the response-facing series stay truthful per request while
 // solver work is never double-counted.
-func (m *metrics) observeRequest(algorithm, instance string, res *core.Anytime, latency time.Duration) {
-	m.requests.With(algorithm).Inc()
+func (m *metrics) observeRequest(algorithm, instance, model string, res *core.Anytime, latency time.Duration) {
+	m.requests.With(algorithm, model).Inc()
 	m.instanceReqs.With(instance).Inc()
 	m.latency.Observe(latency.Seconds())
 	m.regret.Observe(res.TotalRegret)
@@ -231,9 +238,19 @@ func (m *metrics) snapshot(queueDepth int) Stats {
 		s.LatencyAvgMS = m.latency.Sum() / float64(s.Completed) * 1e3
 		s.TruncationRate = float64(s.Truncated) / float64(s.Completed)
 	}
-	m.requests.Each(func(values []string, n int64) {
-		s.PerAlgorithm = append(s.PerAlgorithm, AlgoCount{Algorithm: values[0], Requests: n})
-	})
+	// /stats predates the model label: PerAlgorithm stays a per-algorithm
+	// total, summed across model kinds.
+	byAlg := make(map[string]int64)
+	m.requests.Each(func(values []string, n int64) { byAlg[values[0]] += n })
+	for alg, n := range byAlg {
+		if n == 0 {
+			// Pre-created zero series stay visible on /metrics but do not
+			// grow the /stats document (its pre-label shape listed only
+			// algorithms that had served).
+			continue
+		}
+		s.PerAlgorithm = append(s.PerAlgorithm, AlgoCount{Algorithm: alg, Requests: n})
+	}
 	sort.Slice(s.PerAlgorithm, func(i, j int) bool {
 		return s.PerAlgorithm[i].Algorithm < s.PerAlgorithm[j].Algorithm
 	})

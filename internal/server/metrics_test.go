@@ -55,8 +55,10 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	text := string(body)
 	for _, want := range []string{
-		`mroamd_requests_total{algorithm="BLS"} 3`,
-		`mroamd_requests_total{algorithm="G-Global"} 1`,
+		`mroamd_requests_total{algorithm="BLS",model="base"} 3`,
+		`mroamd_requests_total{algorithm="G-Global",model="base"} 1`,
+		`mroamd_requests_total{algorithm="ALS",model="base"} 0`,
+		`mroamd_requests_total{algorithm="G-Order",model="base"} 0`,
 		"mroamd_solve_latency_seconds_count 4",
 		"mroamd_solve_regret_count 4",
 		"# TYPE mroamd_solve_latency_seconds histogram",

@@ -298,9 +298,14 @@ type SolveRequest struct {
 // echoed only when the request named an instance, which keeps the default-
 // instance response byte-identical to the pre-catalog wire format.
 type SolveResponse struct {
-	Algorithm         string  `json:"algorithm"`
-	Instance          string  `json:"instance,omitempty"`
-	Generation        uint64  `json:"generation,omitempty"`
+	Algorithm  string `json:"algorithm"`
+	Instance   string `json:"instance,omitempty"`
+	Generation uint64 `json:"generation,omitempty"`
+	// Model is the resolved instance's regret-model kind. Echoed whenever
+	// the instance carries a variant model; for base instances it follows
+	// the Instance/Generation rule (named requests only) so the default-
+	// instance body stays byte-identical to the pre-model wire format.
+	Model             string  `json:"model,omitempty"`
 	TotalRegret       float64 `json:"total_regret"`
 	Excess            float64 `json:"excess_regret"`
 	Unsatisfied       float64 `json:"unsatisfied_regret"`
@@ -434,7 +439,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		fail(http.StatusBadRequest, "error", "%v", err)
 		return
 	}
-	lc.noteTarget(entry.Name, alg.Name())
+	lc.noteTarget(entry.Name, alg.Name(), entry.Info.Model)
 
 	// The effective deadline is computed before admission so the cache
 	// fast path and the response echo share it. When it differs from what
@@ -463,6 +468,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			Instance:         entry.Name,
 			Generation:       entry.Generation,
 			Algorithm:        alg.Name(),
+			Model:            entry.Info.Model,
 			Seed:             req.Seed,
 			Restarts:         req.Restarts,
 			ImprovementRatio: req.ImprovementRatio,
@@ -470,7 +476,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		lc.enterCacheLookup(time.Now())
 		if res, age, ok := s.cache.Lookup(key); ok {
 			latency := time.Since(admitted)
-			s.metrics.observeRequest(req.Algorithm, entry.Name, res, latency)
+			s.metrics.observeRequest(req.Algorithm, entry.Name, entry.Info.Model, res, latency)
 			lc.cacheHit(time.Now())
 			s.finishSolve(w, logOutcome, lc, req, alg.Name(), entry, res, latency, true, age, effDeadlineMS)
 			return
@@ -592,9 +598,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		// The flight's solver work was (or will be) recorded by the
 		// request that ran it; this request only contributes the
 		// response-level series.
-		s.metrics.observeRequest(req.Algorithm, entry.Name, res, latency)
+		s.metrics.observeRequest(req.Algorithm, entry.Name, entry.Info.Model, res, latency)
 	} else {
-		s.metrics.observe(req.Algorithm, entry.Name, res, latency)
+		s.metrics.observe(req.Algorithm, entry.Name, entry.Info.Model, res, latency)
 	}
 	// The solve phase ends exactly where it started plus the measured
 	// latency, keeping the span layout contiguous.
@@ -650,6 +656,12 @@ func (s *Server) finishSolve(w http.ResponseWriter, logOutcome func(int, ...any)
 		// compatible with the single-instance wire format.
 		resp.Instance = entry.Name
 		resp.Generation = entry.Generation
+		resp.Model = entry.Info.Model
+	}
+	if entry.Info.Model != "" && entry.Info.Model != core.ModelBase {
+		// A variant answer is always labeled, even on the default instance —
+		// the numbers are not comparable to base-model output.
+		resp.Model = entry.Info.Model
 	}
 	if req.IncludeAssignments {
 		resp.Assignments = make([][]int, entry.Instance.NumAdvertisers())
@@ -692,6 +704,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		body["advertisers"] = e.Instance.NumAdvertisers()
 		body["corridors"] = e.Info.Corridors
 		body["compression_ratio"] = e.Info.CompressionRatio
+		body["model"] = e.Instance.Model().Kind()
 	}
 	writeJSON(w, http.StatusOK, body)
 }

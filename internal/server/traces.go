@@ -21,6 +21,7 @@ type TraceSummary struct {
 	Outcome    string    `json:"outcome"`
 	Instance   string    `json:"instance,omitempty"`
 	Algorithm  string    `json:"algorithm,omitempty"`
+	Model      string    `json:"model,omitempty"`
 	Status     int       `json:"status"`
 	Spans      int       `json:"spans"`
 }
@@ -55,6 +56,7 @@ type TraceTree struct {
 	Outcome    string      `json:"outcome"`
 	Instance   string      `json:"instance,omitempty"`
 	Algorithm  string      `json:"algorithm,omitempty"`
+	Model      string      `json:"model,omitempty"`
 	Status     int         `json:"status"`
 	Roots      []*SpanNode `json:"roots"`
 }
@@ -67,7 +69,7 @@ func (s *Server) handleTracesList(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
-	outcome, instance := q.Get("outcome"), q.Get("instance")
+	outcome, instance, model := q.Get("outcome"), q.Get("instance"), q.Get("model")
 	var minDur time.Duration
 	if v := q.Get("min_duration_ms"); v != "" {
 		f, err := strconv.ParseFloat(v, 64)
@@ -99,6 +101,9 @@ func (s *Server) handleTracesList(w http.ResponseWriter, r *http.Request) {
 		if instance != "" && rec.Instance != instance {
 			continue
 		}
+		if model != "" && rec.Model != model {
+			continue
+		}
 		if rec.Duration < minDur {
 			continue
 		}
@@ -109,6 +114,7 @@ func (s *Server) handleTracesList(w http.ResponseWriter, r *http.Request) {
 			Outcome:    rec.Outcome,
 			Instance:   rec.Instance,
 			Algorithm:  rec.Algorithm,
+			Model:      rec.Model,
 			Status:     rec.Status,
 			Spans:      len(rec.Spans),
 		})
@@ -144,6 +150,7 @@ func traceTree(rec *obs.TraceRecord) TraceTree {
 		Outcome:    rec.Outcome,
 		Instance:   rec.Instance,
 		Algorithm:  rec.Algorithm,
+		Model:      rec.Model,
 		Status:     rec.Status,
 		Roots:      []*SpanNode{},
 	}

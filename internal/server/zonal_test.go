@@ -1,0 +1,201 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/solvecache"
+)
+
+// putSpec hot-swaps an instance via PUT /instances/{name}, failing the test
+// on any non-200 answer.
+func putSpec(tb testing.TB, client *http.Client, url string, spec catalog.Spec) {
+	tb.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(body))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		tb.Fatalf("PUT %s: %d", url, resp.StatusCode)
+	}
+}
+
+// zonalServerSpec is serverSpec(5) under the zonal model at a cap the base
+// optimum violates (pinned by catalog's TestBuildZonal), so the constraint
+// demonstrably flows through the server rather than riding along inertly.
+func zonalServerSpec() catalog.Spec {
+	s := serverSpec(5)
+	s.Model = &catalog.ModelSpec{Kind: "zonal", ZoneCap: 10}
+	return s
+}
+
+// TestSolveZonalEndToEnd drives a zonal instance through the full daemon
+// path: the response echoes the model kind, the returned assignments respect
+// every per-zone cap (checked against an independently built reference
+// model), the answer is bit-identical to the library run, and — the cache-
+// isolation contract — a base request can never be answered from a zonal
+// cache entry, because the model kind is part of the solve-cache key.
+func TestSolveZonalEndToEnd(t *testing.T) {
+	spec := zonalServerSpec()
+	zinst, zinfo, err := catalog.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zm, ok := zinst.Model().(*core.ZonalModel)
+	if !ok {
+		t.Fatalf("reference build carries %T, want *core.ZonalModel", zinst.Model())
+	}
+
+	cat := catalog.New()
+	if _, err := cat.Load("M", spec); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Catalog: cat, Workers: 2, CacheEntries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	for _, tc := range []struct {
+		alg string
+		ref core.Algorithm
+	}{
+		{"BLS", core.BLSAlgorithm{Opts: core.LocalSearchOptions{Seed: 9, Restarts: 2, Workers: 1}}},
+		{"G-Global", core.GGlobalAlgorithm{}},
+	} {
+		status, resp, fail := postSolve(t, client, ts.URL, SolveRequest{
+			Algorithm: tc.alg, Restarts: 2, Seed: 9, Instance: "M",
+			IncludeAssignments: true,
+		})
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d (%s)", tc.alg, status, fail.Error)
+		}
+		if resp.Model != core.ModelZonal {
+			t.Errorf("%s: response model %q, want %q", tc.alg, resp.Model, core.ModelZonal)
+		}
+
+		// Every advertiser's counted influence stays within the cap in
+		// every zone, verified with the independently built partition.
+		for i, set := range resp.Assignments {
+			loads := make(map[int]int64)
+			for _, b := range set {
+				z := zm.ZoneOf(b)
+				loads[z] += int64(zinst.Universe().Degree(b))
+				if loads[z] > zm.Cap() {
+					t.Errorf("%s: advertiser %d exceeds cap %d in zone %d (load %d)",
+						tc.alg, i, zm.Cap(), z, loads[z])
+				}
+			}
+		}
+
+		// The server's answer is the library's answer on the zonal instance.
+		ref := core.SolveAnytime(context.Background(), tc.ref, zinst)
+		if resp.TotalRegret != ref.TotalRegret || resp.Evals != ref.Evals {
+			t.Errorf("%s: server (regret %v, evals %d) != library (regret %v, evals %d)",
+				tc.alg, resp.TotalRegret, resp.Evals, ref.TotalRegret, ref.Evals)
+		}
+	}
+
+	// /instances and /healthz report the variant.
+	if zinfo.Model != core.ModelZonal || zinfo.Zones < 2 || zinfo.ZoneCap != 10 {
+		t.Errorf("build info %+v does not describe the zonal variant", zinfo)
+	}
+	hresp, err := client.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hraw, _ := io.ReadAll(hresp.Body)
+	hresp.Body.Close()
+	var health map[string]any
+	if err := json.Unmarshal(hraw, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health["model"] != core.ModelZonal {
+		t.Errorf("healthz model = %v, want %q", health["model"], core.ModelZonal)
+	}
+}
+
+// TestSolveCacheModelIsolation pins the acceptance criterion that a base
+// request of the same name and generation cannot hit a zonal cache entry:
+// the model kind participates in the solve-cache key, so two otherwise
+// identical request tuples that resolved different models are distinct
+// entries. The key-level check is exact (same name, same generation); the
+// HTTP-level check then hot-swaps a zonal instance to base and verifies the
+// repeat request misses and is re-answered with base numbers.
+func TestSolveCacheModelIsolation(t *testing.T) {
+	zonal := solvecache.Key{
+		Instance: "M", Generation: 7, Model: core.ModelZonal,
+		Algorithm: "BLS", Seed: 9, Restarts: 2,
+	}
+	base := zonal
+	base.Model = core.ModelBase
+	if zonal == base {
+		t.Fatal("keys differing only in model compare equal")
+	}
+
+	zspec, bspec := zonalServerSpec(), serverSpec(5)
+	cat := catalog.New()
+	if _, err := cat.Load("M", zspec); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Catalog: cat, Workers: 2, CacheEntries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	req := SolveRequest{Algorithm: "BLS", Restarts: 2, Seed: 9, Instance: "M"}
+
+	// Prime the cache with the zonal answer and confirm it hits.
+	status, zfirst, _ := postSolve(t, client, ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("zonal solve: %d", status)
+	}
+	status, zrepeat, _ := postSolve(t, client, ts.URL, req)
+	if status != http.StatusOK || !zrepeat.Cached {
+		t.Fatalf("zonal repeat: status %d cached %v, want 200 cached", status, zrepeat.Cached)
+	}
+
+	// Hot-swap "M" to the base model and repeat the identical request: it
+	// must run a fresh base solve, not surface the zonal entry.
+	putSpec(t, client, ts.URL+"/instances/M", bspec)
+	status, bresp, _ := postSolve(t, client, ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("base solve after swap: %d", status)
+	}
+	if bresp.Cached {
+		t.Error("base request after swap served from cache")
+	}
+	if bresp.Model != core.ModelBase {
+		t.Errorf("base response model %q, want %q", bresp.Model, core.ModelBase)
+	}
+	ref := baselineFor(t, bspec)
+	if bresp.TotalRegret != ref.regret || bresp.Evals != ref.evals {
+		t.Errorf("base answer (regret %v, evals %d) != base baseline (regret %v, evals %d)",
+			bresp.TotalRegret, bresp.Evals, ref.regret, ref.evals)
+	}
+	if bresp.TotalRegret == zfirst.TotalRegret && bresp.Evals == zfirst.Evals {
+		t.Errorf("base answer indistinguishable from zonal answer %+v; cap does not bind", zfirst)
+	}
+}

@@ -43,6 +43,14 @@ type Config struct {
 	Gamma float64
 	// Seed drives arrivals and proposal noise.
 	Seed uint64
+	// ZoneOf and ZoneCap optionally impose the zonal regret model on every
+	// daily allocation: ZoneOf maps each billboard of the full universe to
+	// its zone, and no contract may count more than ZoneCap influence from
+	// one zone. Empty ZoneOf (the default) runs the base model. ZoneOf is
+	// indexed by the full universe's billboard IDs; Run restricts it to
+	// each day's free inventory.
+	ZoneOf  []int
+	ZoneCap int64
 }
 
 func (c Config) withDefaults() Config {
@@ -72,6 +80,9 @@ func (c Config) Validate() error {
 	}
 	if c.Gamma < 0 || c.Gamma > 1 {
 		return fmt.Errorf("simulate: gamma %v outside [0, 1]", c.Gamma)
+	}
+	if len(c.ZoneOf) > 0 && c.ZoneCap < 1 {
+		return fmt.Errorf("simulate: zone partition set but zone cap %d < 1", c.ZoneCap)
 	}
 	return nil
 }
@@ -118,6 +129,10 @@ func Run(u *coverage.Universe, alg core.Algorithm, cfg Config) (*Result, error) 
 	cfg = cfg.withDefaults()
 	if u.TotalSupply() == 0 {
 		return nil, fmt.Errorf("simulate: universe has zero supply")
+	}
+	if len(cfg.ZoneOf) > 0 && len(cfg.ZoneOf) != u.NumBillboards() {
+		return nil, fmt.Errorf("simulate: zone partition covers %d billboards, universe has %d",
+			len(cfg.ZoneOf), u.NumBillboards())
 	}
 	r := rng.New(cfg.Seed).Derive("simulate")
 
@@ -184,6 +199,21 @@ func Run(u *coverage.Universe, alg core.Algorithm, cfg Config) (*Result, error) 
 			inst, err := core.NewInstance(sub, advs, cfg.Gamma)
 			if err != nil {
 				return nil, err
+			}
+			if len(cfg.ZoneOf) > 0 {
+				// Restrict the full-universe partition to today's free
+				// inventory: sub-billboard i is original billboard free[i].
+				zoneSub := make([]int, len(free))
+				for i, b := range free {
+					zoneSub[i] = cfg.ZoneOf[b]
+				}
+				zm, err := core.NewZonalModel(zoneSub, cfg.ZoneCap)
+				if err != nil {
+					return nil, err
+				}
+				if inst, err = inst.WithModel(zm); err != nil {
+					return nil, err
+				}
 			}
 			plan := alg.Solve(inst)
 			report.DayRegret = plan.TotalRegret()

@@ -47,6 +47,12 @@ type Key struct {
 	// Algorithm is the canonical algorithm name (core's Name(), not the
 	// client's spelling).
 	Algorithm string
+	// Model is the instance's regret-model kind ("base" or "zonal"). The
+	// generation already changes on every reload, but the model kind is
+	// part of the answer's semantics — folding it into the key guarantees a
+	// base request can never be answered from a zonal entry (or vice versa)
+	// even across code paths that reuse generations.
+	Model string
 	// Seed drives the randomized local search.
 	Seed uint64
 	// Restarts is the requested restart budget, as sent by the client.

@@ -93,6 +93,13 @@ func summarizePhases(results []Result) PhaseSummary {
 	return p
 }
 
+// ModelSummary is one regret-model kind's slice of a mixed run: how many
+// requests it served and their mean objective.
+type ModelSummary struct {
+	Served         int     `json:"served"`
+	SolveRegretAvg float64 `json:"solve_regret_avg"`
+}
+
 // DefaultSlowest is how many slowest-request rows BuildReport lists.
 const DefaultSlowest = 5
 
@@ -162,6 +169,11 @@ type Report struct {
 	// regret) over served responses — the quality axis the admission
 	// policies trade against availability.
 	SolveRegretAvg float64 `json:"solve_regret_avg,omitempty"`
+	// ByModel splits the served volume and objective by the regret-model
+	// kind the server echoed, so a mixed base/zonal run reads each
+	// variant's series separately. Responses where the server elided the
+	// field (base answers on the default instance) count as "base".
+	ByModel map[string]ModelSummary `json:"by_model,omitempty"`
 	// Server echoes the deployment the counterfactuals are priced against.
 	Server ServerParams `json:"server"`
 	// Service is the measured service model the simulator ran on.
@@ -190,16 +202,30 @@ func BuildReport(cfg Config, trace Trace, results []Result, params ServerParams,
 	}
 	var regretSum float64
 	var regretN int
+	byModel := make(map[string]ModelSummary)
 	for _, r := range results {
 		rep.Outcomes[r.Outcome]++
 		if r.Status == 200 {
 			regretSum += r.TotalRegret
 			regretN++
+			kind := r.Model
+			if kind == "" {
+				kind = "base"
+			}
+			m := byModel[kind]
+			m.Served++
+			m.SolveRegretAvg += r.TotalRegret
+			byModel[kind] = m
 		}
 		rep.ActualMeanCost += actualCost(r)
 	}
 	if regretN > 0 {
 		rep.SolveRegretAvg = regretSum / float64(regretN)
+		for kind, m := range byModel {
+			m.SolveRegretAvg /= float64(m.Served)
+			byModel[kind] = m
+		}
+		rep.ByModel = byModel
 	}
 	if len(results) > 0 {
 		rep.ActualMeanCost /= float64(len(results))

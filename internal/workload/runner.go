@@ -44,6 +44,11 @@ type Result struct {
 	// TotalRegret is the solve's objective value on 200s, tying the
 	// serving-layer report back to the paper's metric.
 	TotalRegret float64 `json:"total_regret,omitempty"`
+	// Model is the regret-model kind the server echoed on 200s ("zonal",
+	// or "base" on named-instance answers). Empty when the server elided it
+	// (default-instance base answers keep the pre-model wire format), so a
+	// mixed base/zonal run can split its outcome and regret series by model.
+	Model string `json:"model,omitempty"`
 	// RetryAfterS echoes the Retry-After header on 429s.
 	RetryAfterS int `json:"retry_after_s,omitempty"`
 	// TraceID is the W3C trace ID minted for this request and sent as its
@@ -162,6 +167,7 @@ func issue(ctx context.Context, client *http.Client, baseURL string, req Request
 			return res
 		}
 		res.Cached, res.Truncated, res.TotalRegret = sr.Cached, sr.Truncated, sr.TotalRegret
+		res.Model = sr.Model
 		res.Outcome = OutcomeServed
 		if sr.Truncated {
 			res.Outcome = OutcomeServedTruncated

@@ -45,6 +45,17 @@ type (
 	Algorithm = core.Algorithm
 	// SearchOptions configures the randomized local search framework.
 	SearchOptions = core.LocalSearchOptions
+	// Model is the pluggable regret-model seam: the per-advertiser
+	// objective and feasibility semantics one problem variant carries
+	// (DESIGN.md §15). Instance.Model returns the attached model;
+	// Instance.WithModel swaps it.
+	Model = core.Model
+	// BaseModel is the paper's MROAM market, the default model.
+	BaseModel = core.BaseModel
+	// ZonalModel is the zonal-influence-constrained variant: the base
+	// objective under per-zone caps on each advertiser's counted
+	// influence supply.
+	ZonalModel = core.ZonalModel
 	// Universe is the billboard-to-trajectory coverage structure
 	// consumed by instances.
 	Universe = coverage.Universe
@@ -93,6 +104,14 @@ func NewUniverse(numTrajectories int, lists []CoverageList) (*Universe, error) {
 // build plans by hand (Plan.Assign/Release) or as input to the solvers'
 // building blocks.
 func NewPlan(inst *Instance) *Plan { return core.NewPlan(inst) }
+
+// NewZonalModel builds the zonal-constraint model over a billboard→zone
+// partition (zoneOf indexed by billboard ID) with a uniform per-zone cap on
+// each advertiser's counted influence supply. Attach it to an instance with
+// Instance.WithModel; catalog-built zonal instances do this automatically.
+func NewZonalModel(zoneOf []int, cap int64) (*ZonalModel, error) {
+	return core.NewZonalModel(zoneOf, cap)
+}
 
 // GOrder runs the budget-effective greedy (paper Algorithm 1, "G-Order").
 func GOrder(inst *Instance) *Plan { return core.GreedyOrder(inst) }
