@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet fmt lint bench bench-json bench-serving scale-smoke repro examples clean check fuzz-smoke trace-demo catalog-demo cache-demo load-smoke trace-smoke variant-smoke
+.PHONY: all build test test-race vet fmt lint bench bench-json bench-serving scale-smoke repro examples clean check fuzz-smoke trace-demo catalog-demo cache-demo load-smoke trace-smoke variant-smoke churn-smoke
 
 all: build test
 
@@ -10,7 +10,7 @@ all: build test
 # suite, a short smoke run of every fuzz target, the serving demos
 # (multi-instance catalog, solve-result cache, reproducible load harness),
 # and the paper-scale coverage smoke.
-check: build lint test-race fuzz-smoke catalog-demo cache-demo load-smoke trace-smoke variant-smoke scale-smoke
+check: build lint test-race fuzz-smoke catalog-demo cache-demo load-smoke trace-smoke variant-smoke churn-smoke scale-smoke
 
 build:
 	$(GO) build ./...
@@ -212,6 +212,54 @@ variant-smoke:
 		|| { echo "variant-smoke: base solve drifted from pre-refactor golden:"; \
 		     diff testdata/variant-base-solve.golden /tmp/mroam-variant-base.json; exit 1; }; \
 	echo "variant-smoke: OK (zonal caps hold, model echoed, base output byte-identical)"
+
+# churn-smoke is the delta-solve gate in `check`: boot mroamd with the solve
+# cache on, establish an incumbent plan, PATCH the live market (remove one
+# advertiser, revise another, admit a new one), and require (a) the repeat
+# pre-patch solve was answered from cache, (b) the PATCH invalidated that
+# entry — the post-patch plain solve is a miss, (c) a "warm_start": true
+# solve of the patched market reports warm_started, and (d) the warm
+# response is byte-identical to the cold solve of the same patched market
+# once volatile fields (latency, evals) are normalized away — the
+# end-to-end delta-solve contract of DESIGN.md §16 over HTTP.
+CHURN_SMOKE_ADDR ?= 127.0.0.1:18381
+churn-smoke:
+	@$(GO) build -o /tmp/mroamd-churn ./cmd/mroamd
+	@/tmp/mroamd-churn -addr $(CHURN_SMOKE_ADDR) -scale 0.02 -workers 2 \
+		-cache-entries 64 > /tmp/mroamd-churn.log 2>&1 & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	up=0; \
+	for i in $$(seq 1 100); do \
+		curl -sf http://$(CHURN_SMOKE_ADDR)/healthz >/dev/null && { up=1; break; }; \
+		sleep 0.2; \
+	done; \
+	[ $$up -eq 1 ] || { echo "churn-smoke: daemon never came up"; cat /tmp/mroamd-churn.log; exit 1; }; \
+	first=$$(curl -s -d '{"algorithm":"BLS","restarts":2,"seed":7}' http://$(CHURN_SMOKE_ADDR)/solve); \
+	echo "$$first" | grep -q '"total_regret"' || { echo "churn-smoke: incumbent solve failed: $$first"; exit 1; }; \
+	curl -s -d '{"algorithm":"BLS","restarts":2,"seed":7}' http://$(CHURN_SMOKE_ADDR)/solve \
+		| grep -q '"cached": true' || { echo "churn-smoke: pre-patch repeat not served from cache"; exit 1; }; \
+	curl -s -X PATCH http://$(CHURN_SMOKE_ADDR)/instances/default/advertisers \
+		-d '{"ops":[{"op":"remove","advertiser":3},{"op":"revise","advertiser":0,"demand":40},{"op":"add","demand":25,"payment":25}]}' \
+		| grep -q '"generation": 2' || { echo "churn-smoke: patch failed"; exit 1; }; \
+	curl -s -d '{"algorithm":"BLS","restarts":2,"seed":7,"warm_start":true,"include_assignments":true}' \
+		http://$(CHURN_SMOKE_ADDR)/solve > /tmp/mroam-churn-warm.json; \
+	grep -q '"warm_started": true' /tmp/mroam-churn-warm.json \
+		|| { echo "churn-smoke: post-patch solve did not warm-start"; cat /tmp/mroam-churn-warm.json; exit 1; }; \
+	cold=$$(curl -s -d '{"algorithm":"BLS","restarts":2,"seed":7,"include_assignments":true}' \
+		http://$(CHURN_SMOKE_ADDR)/solve); \
+	echo "$$cold" | grep -q '"cached"' && { echo "churn-smoke: PATCH left a stale cache entry"; exit 1; }; \
+	printf '%s\n' "$$cold" > /tmp/mroam-churn-cold.json; \
+	for f in /tmp/mroam-churn-warm.json /tmp/mroam-churn-cold.json; do \
+		sed -e 's/"latency_ms": [0-9.eE+-]*/"latency_ms": 0/' \
+		    -e 's/"evals": [0-9]*/"evals": 0/' \
+		    -e '/"warm_started"/d' -e '/"frozen_advertisers"/d' \
+		    $$f > $$f.norm; \
+	done; \
+	cmp -s /tmp/mroam-churn-warm.json.norm /tmp/mroam-churn-cold.json.norm \
+		|| { echo "churn-smoke: warm plan drifted from cold solve of the patched market:"; \
+		     diff /tmp/mroam-churn-cold.json.norm /tmp/mroam-churn-warm.json.norm; exit 1; }; \
+	echo "churn-smoke: OK (cache hit pre-patch, miss after invalidation, warm == cold on the patched market)"
 
 # One benchmark per table/figure of the paper plus ablations; see
 # EXPERIMENTS.md for a recorded run. -run=^$ skips the unit tests so the

@@ -26,6 +26,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/coverage"
+	"repro/internal/dataset"
 	"repro/internal/experiment"
 	"repro/internal/market"
 	"repro/internal/obs"
@@ -354,6 +355,7 @@ func cmdSim(args []string, out io.Writer) error {
 	days := fs.Int("days", 30, "simulation horizon in days")
 	arrivals := fs.Int("arrivals", 4, "expected proposals per day")
 	restarts := fs.Int("restarts", 2, "local search restarts per daily allocation")
+	churn := fs.Bool("churn", false, "run the churn replay instead: one market mutates daily and each day is re-solved cold vs warm-started")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -368,6 +370,9 @@ func cmdSim(args []string, out io.Writer) error {
 	u, err := d.BuildUniverse(s.Lambda)
 	if err != nil {
 		return err
+	}
+	if *churn {
+		return runChurnSim(out, s, d, u, *days, *arrivals, *restarts)
 	}
 	cfg := simulate.Config{
 		Days:             *days,
@@ -404,6 +409,59 @@ func cmdSim(args []string, out io.Writer) error {
 			fmt.Sprintf("%d", r.TotalProposals))
 	}
 	return tbl.Write(out)
+}
+
+// runChurnSim is the -churn mode of mroam sim: a fixed-universe market of
+// 2·arrivals advertisers mutates every day (one leaves, one revises, one
+// arrives) and each mutated market is solved twice — cold from scratch and
+// warm-started from the previous day's plan — so the table shows what the
+// daemon's PATCH + "warm_start" path saves over nightly full re-solves.
+func runChurnSim(out io.Writer, s catalog.Spec, d *dataset.Dataset, u *coverage.Universe, days, arrivals, restarts int) error {
+	cfg := simulate.ChurnConfig{
+		Days:             days,
+		Advertisers:      2 * arrivals,
+		DemandFractionLo: 0.08,
+		DemandFractionHi: 0.22,
+		Gamma:            market.DefaultGamma,
+		Seed:             s.Seed,
+		Restarts:         restarts,
+	}
+	banner := ""
+	if s.ModelKind() == core.ModelZonal {
+		zoneOf, zones := catalog.ZonePartition(d.Billboards.Locations(), s.Model.ZoneMeters)
+		cfg.ZoneOf, cfg.ZoneCap = zoneOf, s.Model.ZoneCap
+		banner = fmt.Sprintf(", zonal: %d zones at %.0fm, cap %d", zones, s.Model.ZoneMeters, s.Model.ZoneCap)
+	}
+	res, err := simulate.ChurnReplay(u, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%d-day churn replay on %s (%d advertisers, %d billboards, BLS ×%d restarts%s)\n",
+		days, d.Config.City, cfg.Advertisers, u.NumBillboards(), cfg.Restarts, banner)
+	fmt.Fprintf(out, "seed solve: regret %.1f (%d evals); each day: 1 removed, 1 revised, 1 added\n",
+		res.SeedRegret, res.SeedEvals)
+	tbl := report.NewTable("day", "cold regret", "warm regret", "cold evals", "warm evals", "frozen", "cold ms", "warm ms")
+	for _, day := range res.Days {
+		tbl.AddRow(
+			fmt.Sprintf("%d", day.Day),
+			fmt.Sprintf("%.1f", day.ColdRegret),
+			fmt.Sprintf("%.1f", day.WarmRegret),
+			fmt.Sprintf("%d", day.ColdEvals),
+			fmt.Sprintf("%d", day.WarmEvals),
+			fmt.Sprintf("%d", day.Frozen),
+			fmt.Sprintf("%.1f", day.ColdMillis),
+			fmt.Sprintf("%.1f", day.WarmMillis))
+	}
+	if err := tbl.Write(out); err != nil {
+		return err
+	}
+	pct := 0.0
+	if res.ColdEvals > 0 {
+		pct = 100 * float64(res.WarmEvals) / float64(res.ColdEvals)
+	}
+	fmt.Fprintf(out, "warm-start total: %d evals vs %d cold (%.0f%%), %.1fms vs %.1fms; regret matched cold on %d/%d days\n",
+		res.WarmEvals, res.ColdEvals, pct, res.WarmMillis, res.ColdMillis, res.MatchedDays, len(res.Days))
+	return nil
 }
 
 func cmdGap(args []string, out io.Writer) error {

@@ -82,6 +82,8 @@ func run(args []string, out io.Writer) error {
 	deadlines := fs.String("deadlines", "", "comma-separated deadline_ms pool, 0 = no deadline (empty = no deadlines)")
 	restarts := fs.Int("restarts", 2, "restart budget stamped on every request")
 	solveSeeds := fs.Int("solve-seeds", workload.DefaultSolveSeeds, "distinct solver seeds in the mix")
+	churnRate := fs.Float64("churn-rate", 0, "advertiser-churn PATCH entries per second interleaved into the trace (0 = none)")
+	warmStart := fs.Bool("warm-start", false, "stamp warm_start on every solve so the server seeds from its incumbent plan")
 
 	target := fs.String("target", "", "base URL of a running mroamd to replay against")
 	mroamdBin := fs.String("mroamd", "", "path to an mroamd binary: bench mode, one boot per -policies entry")
@@ -109,6 +111,8 @@ func run(args []string, out io.Writer) error {
 		Algorithms:  splitList(*algorithms),
 		Restarts:    *restarts,
 		SolveSeeds:  *solveSeeds,
+		ChurnRate:   *churnRate,
+		WarmStart:   *warmStart,
 	}
 	for _, d := range splitList(*deadlines) {
 		ms, err := strconv.ParseInt(d, 10, 64)

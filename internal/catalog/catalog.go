@@ -77,6 +77,12 @@ func New() *Catalog {
 func (c *Catalog) install(e *Entry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.installLocked(e)
+}
+
+// installLocked is install for callers already holding c.mu — Patch, whose
+// read-modify-write must be atomic with respect to other writers.
+func (c *Catalog) installLocked(e *Entry) {
 	old := c.snap.Load()
 	next := &snapshot{
 		entries:     make(map[string]*Entry, len(old.entries)+1),

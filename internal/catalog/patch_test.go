@@ -1,0 +1,176 @@
+package catalog
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/coverage"
+)
+
+// patchInstance builds a small hand-made instance with nAdv advertisers so
+// tests can predict indexes and demands exactly.
+func patchInstance(tb testing.TB, nAdv int) *core.Instance {
+	tb.Helper()
+	lists := make([]coverage.List, 6)
+	for b := range lists {
+		ids := make([]int32, b+2)
+		for i := range ids {
+			ids[i] = int32((b*3 + i) % 12)
+		}
+		lists[b] = coverage.NewList(ids)
+	}
+	u, err := coverage.NewUniverse(12, lists)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	advs := make([]core.Advertiser, nAdv)
+	for i := range advs {
+		advs[i] = core.Advertiser{Demand: int64(2 + i), Payment: float64(10 * (i + 1))}
+	}
+	inst, err := core.NewInstance(u, advs, 0.5)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return inst
+}
+
+func TestPatchRewritesAdvertisers(t *testing.T) {
+	c := New()
+	e0, err := c.AddInstance("m", patchInstance(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e1, res, err := c.Patch("m", []PatchOp{
+		{Op: "remove", Advertiser: 1},
+		{Op: "revise", Advertiser: 2, Demand: 9},
+		{Op: "add", Demand: 5, Payment: 50},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Generation <= e0.Generation {
+		t.Fatalf("generation not bumped: %d -> %d", e0.Generation, e1.Generation)
+	}
+	if got, ok := c.Get("m"); !ok || got != e1 {
+		t.Fatal("patched entry not installed")
+	}
+	inst := e1.Instance
+	if inst.NumAdvertisers() != 3 {
+		t.Fatalf("advertisers = %d, want 3", inst.NumAdvertisers())
+	}
+	// Post-patch order: kept 0, kept-revised 2, added.
+	wantOld := []int{0, 2, -1}
+	wantDirty := []bool{false, true, true}
+	for j := range wantOld {
+		if res.OldIndexOf[j] != wantOld[j] || res.Dirty[j] != wantDirty[j] {
+			t.Fatalf("mapping[%d] = (%d, %v), want (%d, %v)",
+				j, res.OldIndexOf[j], res.Dirty[j], wantOld[j], wantDirty[j])
+		}
+	}
+	if res.Removed != 1 {
+		t.Fatalf("Removed = %d, want 1", res.Removed)
+	}
+	if inst.Advertiser(0).Demand != 2 || inst.Advertiser(1).Demand != 9 || inst.Advertiser(2).Demand != 5 {
+		t.Fatalf("demands = %d,%d,%d, want 2,9,5",
+			inst.Advertiser(0).Demand, inst.Advertiser(1).Demand, inst.Advertiser(2).Demand)
+	}
+	// Revise without payment keeps the old payment.
+	if inst.Advertiser(1).Payment != 30 {
+		t.Fatalf("revised payment = %v, want 30 (kept)", inst.Advertiser(1).Payment)
+	}
+	if e1.Instance.Universe() != e0.Instance.Universe() {
+		t.Fatal("patch rebuilt the universe instead of sharing it")
+	}
+	if e1.Info.Advertisers != 3 {
+		t.Fatalf("Info.Advertisers = %d, want 3", e1.Info.Advertisers)
+	}
+}
+
+func TestPatchValidation(t *testing.T) {
+	c := New()
+	if _, err := c.AddInstance("m", patchInstance(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	gen := func() uint64 {
+		e, _ := c.Get("m")
+		return e.Generation
+	}
+	before := gen()
+
+	cases := []struct {
+		name string
+		ops  []PatchOp
+		want error
+	}{
+		{"unknown name", []PatchOp{{Op: "add", Demand: 1, Payment: 1}}, ErrNotFound},
+		{"empty ops", []PatchOp{}, nil},
+		{"bad op", []PatchOp{{Op: "upsert"}}, nil},
+		{"remove out of range", []PatchOp{{Op: "remove", Advertiser: 7}}, ErrUnknownAdvertiser},
+		{"revise out of range", []PatchOp{{Op: "revise", Advertiser: -1, Demand: 3}}, ErrUnknownAdvertiser},
+		{"double remove", []PatchOp{{Op: "remove", Advertiser: 0}, {Op: "remove", Advertiser: 0}}, ErrUnknownAdvertiser},
+		{"revise removed", []PatchOp{{Op: "remove", Advertiser: 0}, {Op: "revise", Advertiser: 0, Demand: 3}}, ErrUnknownAdvertiser},
+		{"add zero demand", []PatchOp{{Op: "add", Demand: 0, Payment: 1}}, nil},
+		{"revise zero demand", []PatchOp{{Op: "revise", Advertiser: 0}}, nil},
+		{"empty market", []PatchOp{{Op: "remove", Advertiser: 0}, {Op: "remove", Advertiser: 1}}, nil},
+	}
+	for _, tc := range cases {
+		name := "m"
+		if tc.name == "unknown name" {
+			name = "ghost"
+		}
+		_, _, err := c.Patch(name, tc.ops)
+		if err == nil {
+			t.Errorf("%s: patch accepted", tc.name)
+			continue
+		}
+		if tc.want != nil && !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	if gen() != before {
+		t.Fatal("failed patches mutated the catalog")
+	}
+}
+
+func TestPatchKeepsModel(t *testing.T) {
+	inst := patchInstance(t, 2)
+	zoneOf := make([]int, inst.Universe().NumBillboards())
+	for b := range zoneOf {
+		zoneOf[b] = b % 2
+	}
+	zm, err := core.NewZonalModel(zoneOf, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zinst, err := inst.WithModel(zm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New()
+	if _, err := c.AddInstance("z", zinst); err != nil {
+		t.Fatal(err)
+	}
+	e, _, err := c.Patch("z", []PatchOp{{Op: "add", Demand: 4, Payment: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Instance.Model().Kind() != core.ModelZonal {
+		t.Fatalf("model kind = %q, want %q", e.Instance.Model().Kind(), core.ModelZonal)
+	}
+}
+
+func TestPatchDefaultName(t *testing.T) {
+	c := New()
+	if _, err := c.AddInstance("only", patchInstance(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	e, _, err := c.Patch("", []PatchOp{{Op: "add", Demand: 3, Payment: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name != "only" {
+		t.Fatalf("patched %q, want default instance", e.Name)
+	}
+}

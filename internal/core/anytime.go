@@ -52,6 +52,13 @@ type Anytime struct {
 	// work performed (like Evals, including abandoned restarts);
 	// Plan.CacheStats() carries the deterministic prefix aggregate.
 	Cache CacheStats
+	// WarmStarted reports that restart slot 0 was seeded from a validated
+	// incumbent (LocalSearchOptions.WarmStart). False when no incumbent
+	// was supplied or it failed validation — the run was then fully cold.
+	WarmStarted bool
+	// FrozenAdvertisers is how many advertisers the branch-switch screen
+	// froze during the warm slot's descent (0 for cold runs).
+	FrozenAdvertisers int
 }
 
 // AnytimeAlgorithm is an Algorithm that supports deadline-bounded and
@@ -105,7 +112,7 @@ func cancelled(done <-chan struct{}) bool {
 // bit-identical to RandomizedLocalSearch for every worker count.
 func RandomizedLocalSearchCtx(ctx context.Context, inst *Instance, opts LocalSearchOptions) *Anytime {
 	opts = opts.withDefaults()
-	results, partials := runRestarts(ctx, inst, opts)
+	results, partials, warm := runRestarts(ctx, inst, opts)
 
 	// Longest completed prefix of slots (slot 0 is the greedy-initialized
 	// descent, slots 1..Restarts the restart iterations).
@@ -149,6 +156,8 @@ func RandomizedLocalSearchCtx(ctx context.Context, inst *Instance, opts LocalSea
 			Truncated:         true,
 			Evals:             extraEvals,
 			Cache:             extraCache,
+			WarmStarted:       warm.applied,
+			FrozenAdvertisers: warm.frozen,
 		}
 	}
 
@@ -172,5 +181,7 @@ func RandomizedLocalSearchCtx(ctx context.Context, inst *Instance, opts LocalSea
 		Truncated:         prefix < len(results),
 		Evals:             totalEvals + extraEvals,
 		Cache:             totalCache.Add(extraCache),
+		WarmStarted:       warm.applied,
+		FrozenAdvertisers: warm.frozen,
 	}
 }

@@ -71,6 +71,14 @@ type LocalSearchOptions struct {
 	// (disabled) path costs nothing. Implementations must be safe for
 	// concurrent use when Workers > 1.
 	Tracer Tracer
+	// WarmStart, when non-nil, seeds restart slot 0 from an incumbent plan
+	// instead of the greedy-from-empty descent and freezes the advertisers
+	// the branch-switch screen proves unaffected (warmstart.go). Slots
+	// 1..Restarts are untouched, so the result is deterministic at any
+	// worker count; nil (the default) is bit-identical to the pre-warm
+	// engine. Only the randomized local searches consult it — the greedy
+	// algorithms have no restart pool.
+	WarmStart *WarmStart
 }
 
 // Defaults for LocalSearchOptions.
@@ -158,14 +166,15 @@ func seedRandomPlan(p *Plan, r *rng.RNG) {
 
 // localSearchDone dispatches to the selected neighborhood strategy,
 // improving p in place. It reports false iff done fired before the search
-// converged; p is always left structurally valid.
-func localSearchDone(done <-chan struct{}, p *Plan, opts LocalSearchOptions) bool {
+// converged; p is always left structurally valid. A non-nil frozen mask
+// (warm slot 0 only) excludes the marked advertisers from every move.
+func localSearchDone(done <-chan struct{}, p *Plan, opts LocalSearchOptions, frozen []bool) bool {
 	switch opts.Search {
 	case AdvertiserDriven:
-		_, completed := advertiserLocalSearch(done, p, opts.MaxPasses)
+		_, completed := advertiserLocalSearch(done, p, opts.MaxPasses, frozen)
 		return completed
 	case BillboardDriven:
-		_, completed := billboardLocalSearch(done, p, opts)
+		_, completed := billboardLocalSearch(done, p, opts, frozen)
 		return completed
 	default:
 		panic(fmt.Sprintf("core: unknown search kind %d", opts.Search))
@@ -181,7 +190,7 @@ func localSearchDone(done <-chan struct{}, p *Plan, opts LocalSearchOptions) boo
 // each influence is matched against, so each candidate exchange is
 // evaluated in O(1) from cached influences.
 func AdvertiserLocalSearch(p *Plan, maxPasses int) int {
-	exchanges, _ := advertiserLocalSearch(nil, p, maxPasses)
+	exchanges, _ := advertiserLocalSearch(nil, p, maxPasses, nil)
 	return exchanges
 }
 
@@ -189,10 +198,10 @@ func AdvertiserLocalSearch(p *Plan, maxPasses int) int {
 // additionally reports whether the search converged before ctx fired. The
 // plan is always left structurally valid.
 func AdvertiserLocalSearchCtx(ctx context.Context, p *Plan, maxPasses int) (exchanges int, completed bool) {
-	return advertiserLocalSearch(ctxDone(ctx), p, maxPasses)
+	return advertiserLocalSearch(ctxDone(ctx), p, maxPasses, nil)
 }
 
-func advertiserLocalSearch(done <-chan struct{}, p *Plan, maxPasses int) (exchanges int, completed bool) {
+func advertiserLocalSearch(done <-chan struct{}, p *Plan, maxPasses int, frozen []bool) (exchanges int, completed bool) {
 	if maxPasses < 1 {
 		maxPasses = DefaultMaxPasses
 	}
@@ -205,7 +214,13 @@ func advertiserLocalSearch(done <-chan struct{}, p *Plan, maxPasses int) (exchan
 			if cancelled(done) {
 				return exchanges, false
 			}
+			if frozen != nil && frozen[i] {
+				continue
+			}
 			for j := i + 1; j < n; j++ {
+				if frozen != nil && frozen[j] {
+					continue
+				}
 				ii, ij := p.Influence(i), p.Influence(j)
 				cur := p.Regret(i) + p.Regret(j)
 				p.AddEvals(1)
@@ -239,7 +254,7 @@ func advertiserLocalSearch(done <-chan struct{}, p *Plan, maxPasses int) (exchan
 // improvement threshold derived from opts.ImprovementRatio (Definition
 // 6.1's r). It returns the number of accepted moves.
 func BillboardLocalSearch(p *Plan, opts LocalSearchOptions) int {
-	accepted, _ := billboardLocalSearch(nil, p, opts)
+	accepted, _ := billboardLocalSearch(nil, p, opts, nil)
 	return accepted
 }
 
@@ -248,10 +263,10 @@ func BillboardLocalSearch(p *Plan, opts LocalSearchOptions) int {
 // plan is always left structurally valid (cancellation points sit between
 // atomic moves).
 func BillboardLocalSearchCtx(ctx context.Context, p *Plan, opts LocalSearchOptions) (accepted int, completed bool) {
-	return billboardLocalSearch(ctxDone(ctx), p, opts)
+	return billboardLocalSearch(ctxDone(ctx), p, opts, nil)
 }
 
-func billboardLocalSearch(done <-chan struct{}, p *Plan, opts LocalSearchOptions) (accepted int, completed bool) {
+func billboardLocalSearch(done <-chan struct{}, p *Plan, opts LocalSearchOptions, frozen []bool) (accepted int, completed bool) {
 	opts = opts.withDefaults()
 	inst := p.inst
 	n := inst.NumAdvertisers()
@@ -259,15 +274,22 @@ func billboardLocalSearch(done <-chan struct{}, p *Plan, opts LocalSearchOptions
 	// moves enumerate (refilled in place, allocation-free after the first
 	// pass) and the trial plan of move (4), copied instead of cloned.
 	var s blsScratch
+	skip := func(i int) bool { return frozen != nil && frozen[i] }
 
 	for pass := 0; pass < opts.MaxPasses; pass++ {
 		improved := false
 
 		// Move (1): pairwise billboard exchange between advertisers.
 		for i := 0; i < n; i++ {
+			if skip(i) {
+				continue
+			}
 			for j := i + 1; j < n; j++ {
 				if cancelled(done) {
 					return accepted, false
+				}
+				if skip(j) {
+					continue
 				}
 				if tryExchangeMove(p, i, j, opts, &s, done) {
 					accepted++
@@ -280,6 +302,9 @@ func billboardLocalSearch(done <-chan struct{}, p *Plan, opts LocalSearchOptions
 			if cancelled(done) {
 				return accepted, false
 			}
+			if skip(i) {
+				continue
+			}
 			if tryReplaceMove(p, i, opts, &s, done) {
 				accepted++
 				improved = true
@@ -290,13 +315,20 @@ func billboardLocalSearch(done <-chan struct{}, p *Plan, opts LocalSearchOptions
 			if cancelled(done) {
 				return accepted, false
 			}
+			if skip(i) {
+				continue
+			}
 			if tryReleaseMove(p, i, opts, &s) {
 				accepted++
 				improved = true
 			}
 		}
 		// Move (4): allocate unassigned billboards via the synchronous
-		// greedy; keep only if it improves (Lines 5.11-5.13).
+		// greedy; keep only if it improves (Lines 5.11-5.13). Frozen
+		// advertisers need no gate here: they are satisfied by
+		// construction (warmstart.go) and the greedy only assigns to and
+		// releases unsatisfied advertisers, so the trial cannot perturb
+		// them.
 		before := p.TotalRegret()
 		if s.trial == nil {
 			s.trial = p.Clone()

@@ -150,7 +150,7 @@ func TestLocalSearchNeverWorsens(t *testing.T) {
 		for _, kind := range []SearchKind{AdvertiserDriven, BillboardDriven} {
 			p := GGlobal(inst)
 			before := p.TotalRegret()
-			localSearchDone(nil, p, LocalSearchOptions{Search: kind}.withDefaults())
+			localSearchDone(nil, p, LocalSearchOptions{Search: kind}.withDefaults(), nil)
 			if p.TotalRegret() > before+1e-9 {
 				t.Fatalf("trial %d: %v worsened regret %v → %v", trial, kind, before, p.TotalRegret())
 			}
@@ -259,7 +259,7 @@ func TestLocalSearchUnknownKindPanics(t *testing.T) {
 			t.Fatal("unknown search kind did not panic")
 		}
 	}()
-	localSearchDone(nil, p, LocalSearchOptions{Search: SearchKind(9)}.withDefaults())
+	localSearchDone(nil, p, LocalSearchOptions{Search: SearchKind(9)}.withDefaults(), nil)
 }
 
 // TestBLSApproximateLocalMaximum verifies the structural property behind

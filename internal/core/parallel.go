@@ -38,6 +38,15 @@ import (
 // point of the restart schedule; production code never sets it.
 var restartTestHook func(job int)
 
+// warmOutcome reports what a warm-started slot 0 actually did: whether the
+// incumbent validated and seeded the slot, and how many advertisers the
+// branch-switch screen froze for its descent. The zero value means slot 0
+// ran cold (no WarmStart option, or the incumbent failed validation).
+type warmOutcome struct {
+	applied bool
+	frozen  int
+}
+
 // runRestarts executes the greedy initialization (slot 0) and the
 // opts.Restarts restart iterations (slots 1..Restarts) of Algorithm 3 on
 // min(opts.Workers, iterations) goroutines. results[j] holds slot j's plan
@@ -45,7 +54,14 @@ var restartTestHook func(job int)
 // slot interrupted by ctx (always structurally valid, never both set). opts
 // must already have defaults applied; Workers < 1 selects
 // runtime.GOMAXPROCS(0).
-func runRestarts(ctx context.Context, inst *Instance, opts LocalSearchOptions) (results, partials []*Plan) {
+//
+// With opts.WarmStart set, slot 0 replays the incumbent (warmstart.go),
+// completes it with the greedy and descends with the frozen mask applied;
+// slots 1..Restarts are byte-identical to the cold run (their substreams
+// depend only on seed and slot index), which keeps the reduction
+// deterministic at any worker count. Only slot 0's goroutine writes warm,
+// and the caller reads it after all slots finished.
+func runRestarts(ctx context.Context, inst *Instance, opts LocalSearchOptions) (results, partials []*Plan, warm warmOutcome) {
 	jobs := opts.Restarts + 1
 	workers := opts.Workers
 	if workers < 1 {
@@ -81,10 +97,15 @@ func runRestarts(ctx context.Context, inst *Instance, opts LocalSearchOptions) (
 			tr.RestartStart(job, time.Since(t0))
 		}
 		p := NewPlan(inst)
-		if job > 0 {
+		var frozen []bool
+		if job == 0 && opts.WarmStart != nil {
+			if frozen = applyWarmStart(p, opts.WarmStart); frozen != nil {
+				warm = warmOutcome{applied: true, frozen: frozenCount(frozen)}
+			}
+		} else if job > 0 {
 			seedRandomPlan(p, root.Derive(fmt.Sprintf("restart-%d", job-1)))
 		}
-		completed := synchronousGreedyDone(done, p) && localSearchDone(done, p, opts)
+		completed := synchronousGreedyDone(done, p) && localSearchDone(done, p, opts, frozen)
 		if !completed {
 			partials[job] = p
 			if tr != nil {
@@ -121,7 +142,7 @@ func runRestarts(ctx context.Context, inst *Instance, opts LocalSearchOptions) (
 			}
 			run(job)
 		}
-		return results, partials
+		return results, partials, warm
 	}
 
 	var next atomic.Int64
@@ -144,5 +165,5 @@ func runRestarts(ctx context.Context, inst *Instance, opts LocalSearchOptions) (
 		}()
 	}
 	wg.Wait()
-	return results, partials
+	return results, partials, warm
 }

@@ -60,22 +60,33 @@ func IsApproxLocalMaximum(p *Plan, i int, r float64) (ok bool, violator int, dir
 	return true, -1, ""
 }
 
+// DefaultDualMaxMoves is the move cap DualLocalSearch applies when the
+// caller passes maxMoves < 1. It is a termination safety valve, not part of
+// the theory: a search that stops here has NOT necessarily reached a local
+// maximum, which is why the function reports convergence separately.
+const DefaultDualMaxMoves = 10000
+
 // DualLocalSearch greedily improves advertiser i's set under the dual
 // objective R′ using single add/remove/swap moves until it reaches a
 // (1+r)-approximate local maximum (the single-advertiser search analyzed in
 // §6.3). Only unassigned billboards are considered for additions and swaps,
-// so multi-advertiser plans remain disjoint. It returns the number of
-// accepted moves.
-func DualLocalSearch(p *Plan, i int, r float64, maxMoves int) int {
+// so multi-advertiser plans remain disjoint.
+//
+// maxMoves bounds the number of accepted moves; values < 1 select
+// DefaultDualMaxMoves. It returns the number of accepted moves and whether
+// the search converged — stopped because no improving move exists (a true
+// (1+r)-approximate local maximum) rather than because the cap fired.
+// Callers asserting fixed-point properties must check converged: on
+// adversarial instances the cap can stop the search mid-descent.
+func DualLocalSearch(p *Plan, i int, r float64, maxMoves int) (moves int, converged bool) {
 	if r < 0 {
 		r = 0
 	}
 	if maxMoves < 1 {
-		maxMoves = 10000
+		maxMoves = DefaultDualMaxMoves
 	}
 	inst := p.Instance()
 	checkFeasible := !inst.base
-	moves := 0
 	for moves < maxMoves {
 		base := inst.Dual(i, p.Influence(i))
 		threshold := (1 + r) * base
@@ -119,11 +130,11 @@ func DualLocalSearch(p *Plan, i int, r float64, maxMoves int) int {
 			}
 		}
 		if !improved {
-			return moves
+			return moves, true
 		}
 		moves++
 	}
-	return moves
+	return moves, false
 }
 
 // VerifyTheorem2 checks Theorem 2's inequality ρ·R′(S) ≥ R′(OPT) for a
@@ -135,7 +146,9 @@ func VerifyTheorem2(inst *Instance, r float64) error {
 		return fmt.Errorf("core: Theorem 2 analysis covers the single-advertiser case, got %d", inst.NumAdvertisers())
 	}
 	p := NewPlan(inst)
-	DualLocalSearch(p, 0, r, 0)
+	if _, converged := DualLocalSearch(p, 0, r, 0); !converged {
+		return fmt.Errorf("core: dual local search hit the %d-move cap before reaching a fixed point", DefaultDualMaxMoves)
+	}
 	if ok, b, dir := IsApproxLocalMaximum(p, 0, r); !ok {
 		return fmt.Errorf("core: search did not reach a local maximum (billboard %d, %s)", b, dir)
 	}

@@ -60,9 +60,12 @@ func TestDualLocalSearchReachesLocalMaximum(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		inst := singleAdvInstance(r, 120, 12, 25, 0.5)
 		p := NewPlan(inst)
-		moves := DualLocalSearch(p, 0, 0, 0)
+		moves, converged := DualLocalSearch(p, 0, 0, 0)
 		if moves == 0 && p.Influence(0) == 0 && inst.Universe().TotalSupply() > 0 {
 			t.Fatalf("trial %d: search made no moves from empty plan", trial)
+		}
+		if !converged {
+			t.Fatalf("trial %d: search hit the default move cap", trial)
 		}
 		if ok, b, dir := IsApproxLocalMaximum(p, 0, 0); !ok {
 			t.Fatalf("trial %d: not a local maximum (billboard %d, %s)", trial, b, dir)
@@ -77,8 +80,54 @@ func TestDualLocalSearchRespectsMaxMoves(t *testing.T) {
 	r := rng.New(32)
 	inst := singleAdvInstance(r, 200, 14, 30, 0.6)
 	p := NewPlan(inst)
-	if moves := DualLocalSearch(p, 0, 0, 1); moves > 1 {
+	moves, converged := DualLocalSearch(p, 0, 0, 1)
+	if moves > 1 {
 		t.Fatalf("maxMoves ignored: %d moves", moves)
+	}
+	// The cap must be reported as such: a search stopped after one move on
+	// an instance that needs more is not a fixed point, and claiming
+	// convergence here is exactly the unsoundness the convergence flag
+	// exists to prevent.
+	if converged {
+		if ok, _, _ := IsApproxLocalMaximum(p, 0, 0); !ok {
+			t.Fatal("search claimed convergence at the cap without reaching a local maximum")
+		}
+	} else if ok, _, _ := IsApproxLocalMaximum(p, 0, 0); ok {
+		t.Fatal("search reported a cap stop at a true local maximum")
+	}
+}
+
+// TestDualLocalSearchReportsConvergence pins the convergence contract from
+// both sides: unbounded runs converge (and say so), while a binding cap is
+// reported as non-convergence rather than silently presented as a fixed
+// point — VerifyTheorem2's soundness rests on this distinction.
+func TestDualLocalSearchReportsConvergence(t *testing.T) {
+	r := rng.New(47)
+	inst := singleAdvInstance(r, 200, 14, 30, 0.6)
+
+	free := NewPlan(inst)
+	freeMoves, converged := DualLocalSearch(free, 0, 0, 0)
+	if !converged {
+		t.Fatalf("unbounded search did not converge in %d moves", freeMoves)
+	}
+	if freeMoves < 2 {
+		t.Skipf("instance converges in %d moves; cannot exercise the cap", freeMoves)
+	}
+
+	capped := NewPlan(inst)
+	moves, converged := DualLocalSearch(capped, 0, 0, freeMoves-1)
+	if moves != freeMoves-1 {
+		t.Fatalf("capped search accepted %d moves, want %d", moves, freeMoves-1)
+	}
+	if converged {
+		t.Fatal("search stopped by the cap reported convergence")
+	}
+
+	// Re-running with the cap lifted finishes the descent.
+	rest, converged := DualLocalSearch(capped, 0, 0, 0)
+	if !converged || moves+rest < freeMoves {
+		t.Fatalf("resumed search: %d+%d moves, converged=%v; want >= %d, true",
+			moves, rest, converged, freeMoves)
 	}
 }
 

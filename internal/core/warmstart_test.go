@@ -1,0 +1,162 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// planSets extracts every advertiser's billboard set from a plan, for
+// bit-identity comparisons between runs.
+func planSets(p *Plan) [][]int {
+	sets := make([][]int, p.Instance().NumAdvertisers())
+	for i := range sets {
+		sets[i] = p.Set(i, nil)
+	}
+	return sets
+}
+
+func TestWarmStartSeedsIncumbent(t *testing.T) {
+	r := rng.New(101)
+	inst := randomInstance(r, 300, 25, 30, 4, 1.0, 0.5)
+	opts := LocalSearchOptions{Search: BillboardDriven, Seed: 7, Restarts: 4}
+
+	cold := RandomizedLocalSearchCtx(context.Background(), inst, opts)
+	if cold.WarmStarted {
+		t.Fatal("cold run reported WarmStarted")
+	}
+	if cold.FrozenAdvertisers != 0 {
+		t.Fatalf("cold run froze %d advertisers", cold.FrozenAdvertisers)
+	}
+
+	opts.WarmStart = &WarmStart{Sets: planSets(cold.Plan)}
+	warm := RandomizedLocalSearchCtx(context.Background(), inst, opts)
+	if !warm.WarmStarted {
+		t.Fatal("incumbent replay did not report WarmStarted")
+	}
+	if err := warm.Plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Seeding slot 0 with the cold incumbent can only help: slot 0's descent
+	// starts from the incumbent instead of empty, slots 1..R are unchanged.
+	if warm.TotalRegret > cold.TotalRegret+1e-9 {
+		t.Fatalf("warm regret %v worse than cold %v", warm.TotalRegret, cold.TotalRegret)
+	}
+}
+
+// TestWarmStartDeterministicAcrossWorkers pins the determinism guarantee:
+// a warm-started solve returns a bit-identical plan for any worker count,
+// because only slot 0 is seeded and the reduction is order-independent.
+func TestWarmStartDeterministicAcrossWorkers(t *testing.T) {
+	r := rng.New(102)
+	inst := randomInstance(r, 300, 25, 30, 4, 1.0, 0.5)
+	base := RandomizedLocalSearch(inst, LocalSearchOptions{Search: BillboardDriven, Seed: 3, Restarts: 4})
+
+	var ref *Anytime
+	for _, workers := range []int{1, 2, 4} {
+		opts := LocalSearchOptions{
+			Search:    BillboardDriven,
+			Seed:      3,
+			Restarts:  4,
+			Workers:   workers,
+			WarmStart: &WarmStart{Sets: planSets(base), Dirty: []bool{true, false, false, false}},
+		}
+		got := RandomizedLocalSearchCtx(context.Background(), inst, opts)
+		if !got.WarmStarted {
+			t.Fatalf("workers=%d: not warm started", workers)
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if got.TotalRegret != ref.TotalRegret || got.Evals != ref.Evals ||
+			got.FrozenAdvertisers != ref.FrozenAdvertisers ||
+			!reflect.DeepEqual(planSets(got.Plan), planSets(ref.Plan)) {
+			t.Fatalf("workers=%d diverged: regret %v vs %v, evals %d vs %d",
+				workers, got.TotalRegret, ref.TotalRegret, got.Evals, ref.Evals)
+		}
+	}
+}
+
+// TestWarmStartRejectsBadIncumbent exercises the defensive paths: billboard
+// indexes out of range and duplicated across sets must not corrupt the plan —
+// the offending advertiser is marked dirty (never frozen) and the solve
+// completes on a valid plan.
+func TestWarmStartRejectsBadIncumbent(t *testing.T) {
+	r := rng.New(103)
+	inst := randomInstance(r, 300, 25, 30, 4, 1.0, 0.5)
+	ws := &WarmStart{Sets: [][]int{
+		{-5, 1, 99999}, // out of range both sides
+		{2, 2},         // duplicate within a set
+		{1},            // already claimed by advertiser 0
+	}}
+	res := RandomizedLocalSearchCtx(context.Background(), inst, LocalSearchOptions{
+		Search: BillboardDriven, Seed: 5, Restarts: 2, WarmStart: ws,
+	})
+	if err := res.Plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cold := RandomizedLocalSearchCtx(context.Background(), inst, LocalSearchOptions{
+		Search: BillboardDriven, Seed: 5, Restarts: 2,
+	})
+	if res.TotalRegret > cold.TotalRegret+1e-9 {
+		t.Fatalf("bad incumbent worsened the solve: %v vs cold %v", res.TotalRegret, cold.TotalRegret)
+	}
+}
+
+// TestWarmStartColdPathUntouched guards the bit-identity contract of the
+// nil option: the pre-warm engine and the current one must agree exactly.
+func TestWarmStartColdPathUntouched(t *testing.T) {
+	r := rng.New(104)
+	inst := randomInstance(r, 300, 25, 30, 4, 1.0, 0.5)
+	for _, kind := range []SearchKind{AdvertiserDriven, BillboardDriven} {
+		a := RandomizedLocalSearch(inst, LocalSearchOptions{Search: kind, Seed: 9, Restarts: 3})
+		b := RandomizedLocalSearchCtx(context.Background(), inst, LocalSearchOptions{Search: kind, Seed: 9, Restarts: 3, Workers: 4})
+		if a.TotalRegret() != b.TotalRegret || !reflect.DeepEqual(planSets(a), planSets(b.Plan)) {
+			t.Fatalf("%v: context run diverged from plain run", kind)
+		}
+	}
+}
+
+func TestApplyWarmStartFrozenScreen(t *testing.T) {
+	// Disjoint universe: three billboards of degree 4, 3, 5; three
+	// advertisers whose demands make the screen's branches explicit.
+	u := disjointUniverse([]int{4, 3, 5})
+	inst := MustInstance(u, []Advertiser{
+		{Demand: 4, Payment: 4}, // satisfied exactly by billboard 0 → R=0 → frozen
+		{Demand: 2, Payment: 2}, // oversatisfied by billboard 1 → frozen unless FreedSupply
+		{Demand: 9, Payment: 9}, // unsatisfied by billboard 2 → always dirty
+	}, 0.5)
+
+	p := NewPlan(inst)
+	frozen := applyWarmStart(p, &WarmStart{Sets: [][]int{{0}, {1}, {2}}})
+	if frozen == nil {
+		t.Fatal("valid incumbent rejected")
+	}
+	if !frozen[0] {
+		t.Error("zero-regret advertiser not frozen")
+	}
+	if !frozen[1] {
+		t.Error("over-satisfied advertiser not frozen without freed supply")
+	}
+	if frozen[2] {
+		t.Error("unsatisfied advertiser frozen")
+	}
+
+	// Freed supply re-opens the over-satisfied branch (it could shed excess
+	// onto returned billboards) but not the zero-regret one.
+	p2 := NewPlan(inst)
+	frozen = applyWarmStart(p2, &WarmStart{Sets: [][]int{{0}, {1}, {2}}, FreedSupply: true})
+	if !frozen[0] || frozen[1] || frozen[2] {
+		t.Errorf("freed-supply screen = %v, want [true false false]", frozen)
+	}
+
+	// An explicit dirty mark overrides the screen.
+	p3 := NewPlan(inst)
+	frozen = applyWarmStart(p3, &WarmStart{Sets: [][]int{{0}, {1}, {2}}, Dirty: []bool{true, false, false}})
+	if frozen[0] || !frozen[1] {
+		t.Errorf("dirty-mask screen = %v, want [false true false]", frozen)
+	}
+}

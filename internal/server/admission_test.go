@@ -16,9 +16,9 @@ import (
 func waitTokens(t *testing.T, s *Server, n int) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
-	for len(s.queue) != n {
+	for s.backlog() != n {
 		if time.Now().After(deadline) {
-			t.Fatalf("queue stuck at %d tokens, want %d", len(s.queue), n)
+			t.Fatalf("backlog stuck at %d tokens, want %d", s.backlog(), n)
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -260,5 +260,55 @@ func getStats(t *testing.T, ts *httptest.Server, st *Stats) {
 	defer resp.Body.Close()
 	if err := json.NewDecoder(resp.Body).Decode(st); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRetryAfterCountsExecutingSolves pins the backlog accounting behind
+// Retry-After: with every worker busy and the waiting room EMPTY
+// (QueueDepth=0), the drain estimate must still see the executing solves.
+// An accounting that read only the waiting room would see backlog 0 here
+// and emit the trivial 1-second fallback; the correct estimate for two
+// 10s solves sharing two workers is (2-2+1)*10s/2 = 5s.
+func TestRetryAfterCountsExecutingSolves(t *testing.T) {
+	inst := testInstance(t, 50, 8, 2)
+	cfg, release, started := gatedConfig(t, inst, 2, 0)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer release()
+
+	// Pin the EWMA so the arithmetic is exact: 10s per solve.
+	s.adm.svcMicros.Store(10_000_000)
+
+	first := asyncSolve(t, ts, `{"algorithm":"G-Order"}`)
+	second := asyncSolve(t, ts, `{"algorithm":"G-Order"}`)
+	for i := 0; i < 2; i++ {
+		select {
+		case <-started:
+		case <-time.After(5 * time.Second):
+			t.Fatal("workers never started")
+		}
+	}
+	waitTokens(t, s, 2) // both tokens are execution tokens; the queue is empty
+
+	resp := postRaw(t, ts, `{"algorithm":"G-Order"}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Reject-Reason"); got != "capacity" {
+		t.Fatalf("reject reason %q, want capacity", got)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "5" {
+		t.Fatalf("Retry-After %q, want 5 (two executing 10s solves over two workers)", got)
+	}
+
+	release()
+	for _, ch := range []<-chan int{first, second} {
+		if got := <-ch; got != http.StatusOK {
+			t.Fatalf("admitted solve finished %d, want 200", got)
+		}
 	}
 }

@@ -24,6 +24,7 @@ type metrics struct {
 	instanceReqs     *obs.CounterVec   // completed solves by catalog instance
 	instanceInflight *obs.GaugeVec     // admitted (queued or executing) requests by instance
 	reloads          *obs.Counter      // successful PUT /instances loads
+	patches          *obs.Counter      // successful PATCH /instances/{name}/advertisers ops
 	latency          *obs.Histogram    // seconds per completed solve
 	regret           *obs.Histogram    // final total regret per completed solve
 	truncated        *obs.Counter      // completed solves cut off by deadline/cancel
@@ -69,6 +70,8 @@ func newMetrics(cat *catalog.Catalog) *metrics {
 		"Requests currently admitted (queued or executing) per instance.", "instance")
 	m.reloads = reg.Counter("mroamd_instance_reloads_total",
 		"Instances loaded or hot-swapped via PUT /instances.")
+	m.patches = reg.Counter("mroamd_instance_patches_total",
+		"Advertiser patches applied via PATCH /instances/{name}/advertisers.")
 	reg.GaugeFunc("mroamd_instances_loaded",
 		"Instances currently resident in the catalog.",
 		func() float64 { return float64(cat.Len()) })

@@ -66,6 +66,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/catalog"
@@ -144,13 +145,26 @@ type Server struct {
 	catalog *catalog.Catalog
 	log     *slog.Logger
 	mux     *http.ServeMux
-	queue   chan struct{} // admission tokens: capacity Workers + QueueDepth
+	queue   chan struct{} // waiting-room tokens: capacity QueueDepth
 	workers chan struct{} // execution tokens: capacity Workers
 	metrics *metrics
 	cache   *solvecache.Cache // nil when Config.CacheEntries == 0
 	traces  *obs.SpanStore    // nil when Config.TraceCapacity == 0
 	adm     *admission
+
+	// incumbents carries the last completed plan per (instance, model) for
+	// warm-started solves; incumbent.go owns it.
+	incMu      sync.Mutex
+	incumbents map[string]*incumbent
 }
+
+// backlog is the number of admitted requests currently holding an admission
+// slot — waiting for a worker plus executing on one. Every estimate the
+// admission layer makes (Retry-After, deadline feasibility, /stats, the
+// queue-depth gauge) consumes this one definition, so the two token
+// channels can never be counted inconsistently: a request holds exactly one
+// of the two tokens at any instant.
+func (s *Server) backlog() int { return len(s.queue) + len(s.workers) }
 
 // New validates cfg and returns a ready-to-serve Server.
 func New(cfg Config) (*Server, error) {
@@ -186,13 +200,14 @@ func New(cfg Config) (*Server, error) {
 		cfg.Logger = obs.NopLogger()
 	}
 	s := &Server{
-		cfg:     cfg,
-		catalog: cfg.Catalog,
-		log:     cfg.Logger,
-		mux:     http.NewServeMux(),
-		queue:   make(chan struct{}, cfg.Workers+cfg.QueueDepth),
-		workers: make(chan struct{}, cfg.Workers),
-		metrics: newMetrics(cfg.Catalog),
+		cfg:        cfg,
+		catalog:    cfg.Catalog,
+		log:        cfg.Logger,
+		mux:        http.NewServeMux(),
+		queue:      make(chan struct{}, cfg.QueueDepth),
+		workers:    make(chan struct{}, cfg.Workers),
+		metrics:    newMetrics(cfg.Catalog),
+		incumbents: map[string]*incumbent{},
 		adm: &admission{
 			policy:    cfg.Admission,
 			workers:   cfg.Workers,
@@ -202,7 +217,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.metrics.reg.GaugeFunc("mroamd_queue_depth",
 		"Admitted requests currently queued or executing.",
-		func() float64 { return float64(len(s.queue)) })
+		func() float64 { return float64(s.backlog()) })
 	s.metrics.reg.GaugeFunc("mroamd_inflight_solves",
 		"Solves currently holding a worker slot.",
 		func() float64 { return float64(len(s.workers)) })
@@ -242,6 +257,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.Handle("/metrics", s.MetricsHandler())
 	s.mux.HandleFunc("GET /instances", s.handleInstancesList)
 	s.mux.HandleFunc("PUT /instances/{name}", s.handleInstancePut)
+	s.mux.HandleFunc("PATCH /instances/{name}/advertisers", s.handleInstancePatch)
 	s.mux.HandleFunc("DELETE /instances/{name}", s.handleInstanceDelete)
 	s.mux.Handle("/debug/traces", s.TracesHandler())
 	s.mux.Handle("/debug/traces/{id}", s.TracesHandler())
@@ -291,6 +307,14 @@ type SolveRequest struct {
 	// IncludeAssignments adds the full per-advertiser billboard sets to
 	// the response.
 	IncludeAssignments bool `json:"include_assignments"`
+	// WarmStart seeds the solve from the daemon's last completed plan for
+	// the same (instance, model) pair, when one exists at the instance's
+	// current generation — the delta-solve path for patched markets. With
+	// no usable incumbent the solve runs cold and the response says so
+	// (warm_started absent). Warm-started results are never served from or
+	// stored into the solve cache: the incumbent is part of the effective
+	// input but not of the cache key.
+	WarmStart bool `json:"warm_start,omitempty"`
 }
 
 // SolveResponse is the JSON body answering POST /solve. Instance and
@@ -327,9 +351,16 @@ type SolveResponse struct {
 	// completed entry, or an identical in-flight solve this request
 	// coalesced onto. CacheAgeMS is how long the entry had been cached
 	// (0 for coalesced results, which are brand new).
-	Cached      bool    `json:"cached,omitempty"`
-	CacheAgeMS  float64 `json:"cache_age_ms,omitempty"`
-	Assignments [][]int `json:"assignments,omitempty"`
+	Cached     bool    `json:"cached,omitempty"`
+	CacheAgeMS float64 `json:"cache_age_ms,omitempty"`
+	// WarmStarted reports that the solve was seeded from a validated
+	// incumbent plan (requests with "warm_start": true only); false there
+	// means the daemon had no incumbent at the instance's current
+	// generation and ran cold. FrozenAdvertisers is how many advertisers
+	// the branch-switch screen kept out of the warm descent.
+	WarmStarted       bool    `json:"warm_started,omitempty"`
+	FrozenAdvertisers int     `json:"frozen_advertisers,omitempty"`
+	Assignments       [][]int `json:"assignments,omitempty"`
 }
 
 // errorResponse is the JSON body of non-200 answers.
@@ -428,12 +459,21 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			tracer = lc.tracer
 		}
 	}
+	// Resolve the warm-start incumbent against the same snapshot as the
+	// solve: the store only answers with a plan recorded at exactly
+	// entry.Generation (remapped through any PATCHes), so the seed can never
+	// reference advertisers the snapshot does not have.
+	var ws *core.WarmStart
+	if req.WarmStart {
+		ws = s.incumbentFor(entry)
+	}
 	alg, err := core.AlgorithmByNameOpts(req.Algorithm, core.LocalSearchOptions{
 		Seed:             req.Seed,
 		Restarts:         req.Restarts,
 		ImprovementRatio: req.ImprovementRatio,
 		Workers:          max(req.SearchWorkers, 1), // serial unless asked; the pool owns parallelism
 		Tracer:           tracer,
+		WarmStart:        ws,
 	})
 	if err != nil {
 		fail(http.StatusBadRequest, "error", "%v", err)
@@ -462,8 +502,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// Cache fast path: a completed identical solve answers immediately,
 	// without consuming a queue or worker token. The key carries the
 	// snapshot's generation, so a hot-swapped instance is a natural miss.
+	// Warm-started requests bypass the cache in both directions — their
+	// effective input includes the incumbent, which the key does not carry,
+	// so serving or storing them under the plain tuple would alias two
+	// different computations.
+	useCache := s.cache != nil && !req.WarmStart
 	var key solvecache.Key
-	if s.cache != nil {
+	if useCache {
 		key = solvecache.Key{
 			Instance:         entry.Name,
 			Generation:       entry.Generation,
@@ -492,7 +537,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.metrics.rejected.With(reason).Inc()
 		w.Header().Set("X-Reject-Reason", reason)
 		w.Header().Set("Retry-After",
-			strconv.Itoa(retryAfterSeconds(len(s.queue), s.adm.workers, s.adm.serviceEstimate())))
+			strconv.Itoa(retryAfterSeconds(s.backlog(), s.adm.workers, s.adm.serviceEstimate())))
 		fail(http.StatusTooManyRequests, "shed_"+reason, format, args...)
 	}
 
@@ -513,7 +558,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// be spent by the time the current backlog drains to a worker, instead
 	// of queueing it toward a degenerate truncated answer.
 	if s.adm.policy == AdmitDeadline {
-		if queued, svc := len(s.queue), s.adm.serviceEstimate(); !DeadlineFeasible(deadline, queued, s.adm.workers, svc) {
+		if queued, svc := s.backlog(), s.adm.serviceEstimate(); !DeadlineFeasible(deadline, queued, s.adm.workers, svc) {
 			reject(rejectDeadlineInfeasible,
 				"deadline %v infeasible: estimated queue wait %v (%d queued, %d workers, ~%v per solve)",
 				deadline, EstimatedQueueWait(queued, s.adm.workers, svc), queued, s.adm.workers, svc)
@@ -521,25 +566,37 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	// Take a queue token without blocking, or shed load now.
-	select {
-	case s.queue <- struct{}{}:
-		defer func() { <-s.queue }()
-	default:
-		reject(rejectCapacity, "solver queue full")
-		return
-	}
-
-	// Wait (bounded by the queue depth above) for an execution slot. A
-	// client that gives up while queued abandons the request without ever
-	// occupying a worker.
+	// Admission tokens. A request holds exactly one of the two at any
+	// instant: an execution token while solving, or a waiting-room token
+	// while blocked for one. The fast path claims a free worker directly —
+	// with QueueDepth = 0 the waiting room has no capacity at all, and a
+	// request either starts immediately or is shed.
 	select {
 	case s.workers <- struct{}{}:
 		defer func() { <-s.workers }()
-	case <-ctx.Done():
-		s.metrics.abandoned.Inc()
-		fail(statusClientClosedRequest, "abandoned", "client closed request while queued")
-		return
+	default:
+		// No worker free: enter the waiting room without blocking, or shed
+		// load now.
+		select {
+		case s.queue <- struct{}{}:
+		default:
+			reject(rejectCapacity, "solver queue full")
+			return
+		}
+		// Wait (bounded by the waiting-room capacity above) for an
+		// execution slot, trading the queue token for the worker token at
+		// acquisition. A client that gives up while queued abandons the
+		// request without ever occupying a worker.
+		select {
+		case s.workers <- struct{}{}:
+			<-s.queue
+			defer func() { <-s.workers }()
+		case <-ctx.Done():
+			<-s.queue
+			s.metrics.abandoned.Inc()
+			fail(statusClientClosedRequest, "abandoned", "client closed request while queued")
+			return
+		}
 	}
 
 	if deadline > 0 {
@@ -553,7 +610,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	var res *core.Anytime
 	cached := false
 	var age time.Duration
-	if s.cache != nil {
+	if useCache {
 		// Compute-once path: identical concurrent requests coalesce onto
 		// one flight, which runs detached from every requester (bounded by
 		// MaxDeadline) so an impatient client cannot starve the rest. This
@@ -601,6 +658,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.metrics.observeRequest(req.Algorithm, entry.Name, entry.Info.Model, res, latency)
 	} else {
 		s.metrics.observe(req.Algorithm, entry.Name, entry.Info.Model, res, latency)
+		// A computed, complete solve becomes the incumbent future
+		// warm-started requests for this (instance, model) seed from.
+		s.storeIncumbent(entry, res)
 	}
 	// The solve phase ends exactly where it started plus the measured
 	// latency, keeping the span layout contiguous.
@@ -649,6 +709,8 @@ func (s *Server) finishSolve(w http.ResponseWriter, logOutcome func(int, ...any)
 		EffectiveDeadlineMS: effDeadlineMS,
 		Cached:              cached,
 		CacheAgeMS:          float64(age.Microseconds()) / 1e3,
+		WarmStarted:         res.WarmStarted,
+		FrozenAdvertisers:   res.FrozenAdvertisers,
 	}
 	if req.Instance != "" {
 		// Echo the snapshot identity only for requests that opted into
@@ -770,6 +832,9 @@ func (s *Server) handleInstancePut(w http.ResponseWriter, r *http.Request) {
 		// their capacity immediately.
 		s.cache.InvalidateInstance(name)
 	}
+	// A reload rebuilds the advertiser set from scratch — no index mapping
+	// survives, so any incumbent plans for the name are dead.
+	s.dropIncumbents(name)
 	s.log.Info("instance loaded",
 		"instance", e.Name,
 		"generation", e.Generation,
@@ -805,6 +870,7 @@ func (s *Server) handleInstanceDelete(w http.ResponseWriter, r *http.Request) {
 	if s.cache != nil {
 		s.cache.InvalidateInstance(name)
 	}
+	s.dropIncumbents(name)
 	s.log.Info("instance deleted", "instance", name)
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -815,5 +881,5 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	writeJSON(w, http.StatusOK, s.metrics.snapshot(len(s.queue)))
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.backlog()))
 }

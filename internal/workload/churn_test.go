@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+func churnConfig() Config {
+	cfg := baseConfig()
+	cfg.ChurnRate = 30
+	return cfg
+}
+
+// TestGenerateChurnDigestStable: the churn mix is part of the determinism
+// contract — equal configs with churn enabled generate byte-identical
+// traces, and the patch entries are really there.
+func TestGenerateChurnDigestStable(t *testing.T) {
+	a, err := Generate(churnConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(churnConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SHA256() != b.SHA256() {
+		t.Fatal("equal churn configs generated different traces")
+	}
+	patches := 0
+	for i, r := range a {
+		if r.Index != i {
+			t.Fatalf("entry %d carries index %d after the merge", i, r.Index)
+		}
+		if i > 0 && a[i-1].AtMS > r.AtMS {
+			t.Fatalf("entries %d..%d out of order: %v > %v", i-1, i, a[i-1].AtMS, r.AtMS)
+		}
+		if r.IsPatch() {
+			patches++
+			if len(r.Patch) != 2 || r.Patch[0].Op != "add" || r.Patch[1].Op != "remove" {
+				t.Fatalf("patch entry %d has unexpected ops %+v", i, r.Patch)
+			}
+		}
+	}
+	if patches == 0 {
+		t.Fatal("churn rate 30/s over 2s produced no patch entries")
+	}
+}
+
+// TestGenerateChurnSolveSequenceUnperturbed: churn draws from its own rng
+// substreams, so enabling it must leave the solve subsequence exactly as a
+// churn-free generate produces it — only interleaved.
+func TestGenerateChurnSolveSequenceUnperturbed(t *testing.T) {
+	plain, err := Generate(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	churned, err := Generate(churnConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var solves Trace
+	for _, r := range churned {
+		if !r.IsPatch() {
+			solves = append(solves, r)
+		}
+	}
+	if len(solves) != len(plain) {
+		t.Fatalf("churned trace has %d solve entries, churn-free %d", len(solves), len(plain))
+	}
+	for i := range solves {
+		s, p := solves[i], plain[i]
+		if s.AtMS != p.AtMS || s.Algorithm != p.Algorithm || s.Seed != p.Seed ||
+			s.Instance != p.Instance || s.DeadlineMS != p.DeadlineMS {
+			t.Fatalf("solve %d perturbed by churn:\nchurned: %+v\nplain:   %+v", i, s, p)
+		}
+	}
+}
+
+// TestGenerateChurnOffByteClean: with churn and warm-start disabled the new
+// Request fields must not appear in the serialization at all — old traces
+// and new churn-free traces are the same bytes.
+func TestGenerateChurnOffByteClean(t *testing.T) {
+	tr, err := Generate(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tr.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"patch", "warm_start", "churn"} {
+		if strings.Contains(sb.String(), field) {
+			t.Fatalf("churn-free trace serialization mentions %q", field)
+		}
+	}
+}
+
+// TestGenerateWarmStartStamped: Config.WarmStart marks every solve entry and
+// no patch entry.
+func TestGenerateWarmStartStamped(t *testing.T) {
+	cfg := churnConfig()
+	cfg.WarmStart = true
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range tr {
+		if r.IsPatch() {
+			if r.WarmStart {
+				t.Fatalf("patch entry %d stamped warm_start", i)
+			}
+			continue
+		}
+		if !r.WarmStart {
+			t.Fatalf("solve entry %d missing warm_start", i)
+		}
+	}
+}
+
+// TestRunChurnEndToEnd replays a churned, warm-started trace against a live
+// server: patches must apply (the runner resolves the default instance name
+// from /healthz), solves must be served, and the report must account for
+// churn entries separately from the solve economics.
+func TestRunChurnEndToEnd(t *testing.T) {
+	ts := bootServer(t, server.Config{
+		Catalog:    harnessCatalog(t),
+		Workers:    2,
+		QueueDepth: 64,
+	})
+	cfg := Config{
+		Seed:       3,
+		Duration:   500 * time.Millisecond,
+		Rate:       40,
+		Algorithms: []string{"G-Order", "BLS"},
+		Restarts:   1,
+		ChurnRate:  20,
+		WarmStart:  true,
+	}
+	trace, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	results := Run(ctx, ts.URL, trace, nil)
+
+	params, err := FetchServerParams(ctx, ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if params.Default == "" {
+		t.Fatal("healthz did not expose the default instance name")
+	}
+	counts := map[string]int{}
+	for i, r := range results {
+		counts[r.Outcome]++
+		if r.Outcome == OutcomeError {
+			t.Fatalf("request %d errored: %s", i, r.Err)
+		}
+		if trace[i].IsPatch() && r.Outcome != OutcomePatched {
+			t.Fatalf("patch %d: outcome %s", i, r.Outcome)
+		}
+	}
+	if counts[OutcomePatched] == 0 {
+		t.Fatal("no patch entry was applied")
+	}
+	if counts[OutcomeServed] == 0 {
+		t.Fatal("no solve was served")
+	}
+
+	rep := BuildReport(cfg, trace, results, params, time.Second)
+	if rep.Outcomes[OutcomePatched] != counts[OutcomePatched] {
+		t.Fatalf("report counts %d patched, observed %d", rep.Outcomes[OutcomePatched], counts[OutcomePatched])
+	}
+	// Patches are free and invisible to admission: the simulated baseline
+	// must report them as patched, not served or shed.
+	base := Simulate(trace, params, rep.Service)
+	if base.Outcomes[OutcomePatched] != counts[OutcomePatched] {
+		t.Fatalf("simulator saw %d patches, trace has %d", base.Outcomes[OutcomePatched], counts[OutcomePatched])
+	}
+}

@@ -36,10 +36,18 @@ func (m ServiceModel) meanMS(trace Trace) float64 {
 		return m.DefaultMS
 	}
 	var sum float64
+	var n int
 	for _, r := range trace {
+		if r.IsPatch() {
+			continue
+		}
 		sum += m.ServiceMS(r.Algorithm)
+		n++
 	}
-	return sum / float64(len(trace))
+	if n == 0 {
+		return m.DefaultMS
+	}
+	return sum / float64(n)
 }
 
 // MeasureServiceModel fits a ServiceModel to an observed replay: per
@@ -53,7 +61,7 @@ func MeasureServiceModel(trace Trace, results []Result) ServiceModel {
 	var allSum float64
 	var allN int
 	for i, res := range results {
-		if res.Status != 200 || res.Cached || res.Truncated || i >= len(trace) {
+		if res.Status != 200 || res.Cached || res.Truncated || i >= len(trace) || trace[i].IsPatch() {
 			continue
 		}
 		alg := trace[i].Algorithm
@@ -188,6 +196,12 @@ func Simulate(trace Trace, params ServerParams, svc ServiceModel) SimRun {
 	outstandingAt := make([]int, len(trace))
 	arrive := func(idx int) {
 		r := trace[idx]
+		if r.IsPatch() {
+			// PATCHes never enter the admission layer: they hold no token,
+			// cost nothing, and are invisible to every policy.
+			run.PerRequest[idx] = SimOutcome{Outcome: OutcomePatched}
+			return
+		}
 		now := r.AtMS
 		outstanding := running + len(fifo)
 		outstandingAt[idx] = outstanding
@@ -239,13 +253,20 @@ func Simulate(trace Trace, params ServerParams, svc ServiceModel) SimRun {
 		ai++
 	}
 
+	solves := 0
 	for i := range run.PerRequest {
 		run.PerRequest[i].Outstanding = outstandingAt[i]
 		run.Outcomes[run.PerRequest[i].Outcome]++
 		run.TotalCost += run.PerRequest[i].Cost
+		if !trace[i].IsPatch() {
+			solves++
+		}
 	}
-	if len(trace) > 0 {
-		run.MeanCost = run.TotalCost / float64(len(trace))
+	// Mean over solve entries only: patches carry no admission cost, and
+	// counting them would dilute the per-request regret the policies are
+	// compared on.
+	if solves > 0 {
+		run.MeanCost = run.TotalCost / float64(solves)
 	}
 	return run
 }

@@ -22,7 +22,7 @@ func summarizeLatency(results []Result) LatencySummary {
 	var ms []float64
 	var sum float64
 	for _, r := range results {
-		if r.Status != 200 {
+		if r.Status != 200 || r.Outcome == OutcomePatched {
 			continue
 		}
 		ms = append(ms, r.LatencyMS)
@@ -201,10 +201,13 @@ func BuildReport(cfg Config, trace Trace, results []Result, params ServerParams,
 		Server:       params,
 	}
 	var regretSum float64
-	var regretN int
+	var regretN, costN int
 	byModel := make(map[string]ModelSummary)
 	for _, r := range results {
 		rep.Outcomes[r.Outcome]++
+		if r.Outcome == OutcomePatched || r.Outcome == OutcomePatchConflict {
+			continue // churn entries have no solve objective and no cost
+		}
 		if r.Status == 200 {
 			regretSum += r.TotalRegret
 			regretN++
@@ -218,6 +221,7 @@ func BuildReport(cfg Config, trace Trace, results []Result, params ServerParams,
 			byModel[kind] = m
 		}
 		rep.ActualMeanCost += actualCost(r)
+		costN++
 	}
 	if regretN > 0 {
 		rep.SolveRegretAvg = regretSum / float64(regretN)
@@ -227,8 +231,8 @@ func BuildReport(cfg Config, trace Trace, results []Result, params ServerParams,
 		}
 		rep.ByModel = byModel
 	}
-	if len(results) > 0 {
-		rep.ActualMeanCost /= float64(len(results))
+	if costN > 0 {
+		rep.ActualMeanCost /= float64(costN)
 	}
 	rep.Service = MeasureServiceModel(trace, results)
 	rep.Counterfactuals = Compare(trace, params, rep.Service)

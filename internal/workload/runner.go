@@ -24,7 +24,12 @@ const (
 	OutcomeShedCapacity    = "shed_capacity"
 	OutcomeShedDeadline    = "shed_deadline_infeasible"
 	OutcomeShedFairness    = "shed_fairness"
-	OutcomeError           = "error"
+	// OutcomePatched/OutcomePatchConflict classify churn PATCH entries: a
+	// 200 applied the ops; a 409 means the server's advertiser set drifted
+	// from the generator's model (stale index) — counted, not fatal.
+	OutcomePatched       = "patched"
+	OutcomePatchConflict = "patch_conflict"
+	OutcomeError         = "error"
 )
 
 // Result is one replayed request's observed outcome.
@@ -78,6 +83,18 @@ func Run(ctx context.Context, baseURL string, trace Trace, client *http.Client) 
 	if client == nil {
 		client = &http.Client{Timeout: 2 * time.Minute}
 	}
+	// Churn PATCH entries address /instances/{name}/advertisers, so ones
+	// generated without an instance pool need the server's default instance
+	// name, resolved once from /healthz before the clock starts.
+	defaultName := ""
+	for _, req := range trace {
+		if req.IsPatch() && req.Instance == "" {
+			if p, err := FetchServerParams(ctx, baseURL, client); err == nil {
+				defaultName = p.Default
+			}
+			break
+		}
+	}
 	results := make([]Result, len(trace))
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -87,6 +104,10 @@ func Run(ctx context.Context, baseURL string, trace Trace, client *http.Client) 
 			defer wg.Done()
 			if !sleepUntil(ctx, start.Add(req.At())) {
 				results[i] = Result{Index: req.Index, Outcome: OutcomeError, Err: ctx.Err().Error()}
+				return
+			}
+			if req.IsPatch() {
+				results[i] = issuePatch(ctx, client, baseURL, req, defaultName)
 				return
 			}
 			results[i] = issue(ctx, client, baseURL, req)
@@ -122,6 +143,7 @@ func issue(ctx context.Context, client *http.Client, baseURL string, req Request
 		Seed:       req.Seed,
 		Restarts:   req.Restarts,
 		DeadlineMS: req.DeadlineMS,
+		WarmStart:  req.WarmStart,
 	})
 	if err != nil {
 		res.Outcome, res.Err = OutcomeError, err.Error()
@@ -188,6 +210,58 @@ func issue(ctx context.Context, client *http.Client, baseURL string, req Request
 	return res
 }
 
+// issuePatch sends one churn PATCH entry and classifies the response: 200
+// applied, 409 conflicted against a drifted advertiser set, anything else is
+// an error. PATCHes are not admission-gated, so no shed outcomes occur here.
+func issuePatch(ctx context.Context, client *http.Client, baseURL string, req Request, defaultName string) Result {
+	res := Result{Index: req.Index}
+	name := req.Instance
+	if name == "" {
+		name = defaultName
+	}
+	if name == "" {
+		res.Outcome, res.Err = OutcomeError, "patch entry with no instance and no resolvable default"
+		return res
+	}
+	body, err := json.Marshal(map[string]any{"ops": req.Patch})
+	if err != nil {
+		res.Outcome, res.Err = OutcomeError, err.Error()
+		return res
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPatch,
+		baseURL+"/instances/"+name+"/advertisers", bytes.NewReader(body))
+	if err != nil {
+		res.Outcome, res.Err = OutcomeError, err.Error()
+		return res
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+
+	issued := time.Now()
+	resp, err := client.Do(httpReq)
+	if err != nil {
+		res.Outcome, res.Err = OutcomeError, err.Error()
+		return res
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	res.LatencyMS = float64(time.Since(issued)) / float64(time.Millisecond)
+	res.Status = resp.StatusCode
+	if err != nil {
+		res.Outcome, res.Err = OutcomeError, err.Error()
+		return res
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		res.Outcome = OutcomePatched
+	case http.StatusConflict:
+		res.Outcome = OutcomePatchConflict
+	default:
+		res.Outcome = OutcomeError
+		res.Err = fmt.Sprintf("status %d: %s", resp.StatusCode, truncateErr(raw))
+	}
+	return res
+}
+
 func truncateErr(b []byte) string {
 	const max = 200
 	if len(b) > max {
@@ -204,6 +278,9 @@ type ServerParams struct {
 	QueueDepth int    `json:"queue_depth"`
 	Policy     string `json:"admission"`
 	FairShare  int    `json:"fair_share"`
+	// Default is the server's default instance name, used to address churn
+	// PATCH entries generated without an instance pool.
+	Default string `json:"default,omitempty"`
 }
 
 // Capacity is the total number of admission tokens: executing plus queued.

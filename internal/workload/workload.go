@@ -24,8 +24,10 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/rng"
 )
 
@@ -99,6 +101,19 @@ type Config struct {
 	// MaxRequests caps the trace length as a guard against accidental
 	// rate×duration blowups; values < 1 select DefaultMaxRequests.
 	MaxRequests int `json:"max_requests,omitempty"`
+
+	// ChurnRate is the mean arrival rate, per second, of advertiser-churn
+	// PATCH entries interleaved into the trace (their own Poisson process).
+	// Each patch removes the market's first advertiser and adds a fresh
+	// one, so the market size is invariant and every op stays valid. 0
+	// disables churn; churn entries draw from dedicated rng substreams, so
+	// a churn-free trace is byte-identical to one from a pre-churn
+	// generator.
+	ChurnRate float64 `json:"churn_rate,omitempty"`
+	// WarmStart stamps warm_start on every solve entry, so replayed solves
+	// seed from the daemon's incumbent plan when one is available — the
+	// client side of the delta-solve path churn exercises.
+	WarmStart bool `json:"warm_start,omitempty"`
 }
 
 func (c Config) withDefaults() Config {
@@ -153,6 +168,9 @@ func (c Config) Validate() error {
 			return fmt.Errorf("workload: negative deadline %dms", d)
 		}
 	}
+	if c.ChurnRate < 0 {
+		return fmt.Errorf("workload: ChurnRate must be >= 0, got %v", c.ChurnRate)
+	}
 	return nil
 }
 
@@ -174,7 +192,17 @@ type Request struct {
 	Seed       uint64 `json:"seed"`
 	Restarts   int    `json:"restarts,omitempty"`
 	DeadlineMS int64  `json:"deadline_ms,omitempty"`
+	// WarmStart mirrors SolveRequest's warm_start on solve entries.
+	WarmStart bool `json:"warm_start,omitempty"`
+	// Patch, when non-empty, marks this entry as an advertiser-churn PATCH
+	// of Instance instead of a solve; the solve fields above are ignored.
+	// Both fields sit at the end of the struct so churn-free traces keep
+	// the pre-churn serialization byte for byte.
+	Patch []catalog.PatchOp `json:"patch,omitempty"`
 }
+
+// IsPatch reports whether the entry is a churn PATCH rather than a solve.
+func (r Request) IsPatch() bool { return len(r.Patch) > 0 }
 
 // At returns the request's issue time as an offset from run start.
 func (r Request) At() time.Duration {
@@ -217,6 +245,7 @@ func Generate(cfg Config) (Trace, error) {
 			Algorithm: cfg.Algorithms[mix.Intn(len(cfg.Algorithms))],
 			Seed:      uint64(mix.Intn(cfg.SolveSeeds)) + 1,
 			Restarts:  cfg.Restarts,
+			WarmStart: cfg.WarmStart,
 		}
 		if len(cfg.Instances) > 0 {
 			req.Instance = cfg.Instances[mix.Intn(len(cfg.Instances))]
@@ -226,7 +255,50 @@ func Generate(cfg Config) (Trace, error) {
 		}
 		tr = append(tr, req)
 	}
+	if cfg.ChurnRate > 0 {
+		tr = mergeChurn(tr, cfg, horizonMS)
+	}
 	return tr, nil
+}
+
+// mergeChurn interleaves the churn PATCH process into a solve trace. The
+// patch arrivals and their op parameters come from dedicated substreams
+// ("churn", "churn-ops"), so enabling churn never perturbs the solve
+// sequence, and a given Config always yields the same merged trace. Each
+// patch is size-neutral — drop the market's current first advertiser, add a
+// fresh one — which keeps every op valid no matter how patches and solves
+// interleave at the server.
+func mergeChurn(tr Trace, cfg Config, horizonMS float64) Trace {
+	arr := rng.New(cfg.Seed).Derive("churn")
+	ops := rng.New(cfg.Seed).Derive("churn-ops")
+
+	var patches Trace
+	for t := expSample(arr) / cfg.ChurnRate; len(tr)+len(patches) < cfg.MaxRequests; t += expSample(arr) / cfg.ChurnRate {
+		atMS := math.Round(t*1e6) / 1e3
+		if atMS >= horizonMS {
+			break
+		}
+		demand := int64(10 + ops.Intn(90))
+		req := Request{
+			AtMS: atMS,
+			Patch: []catalog.PatchOp{
+				{Op: "add", Demand: demand, Payment: float64(demand)},
+				{Op: "remove", Advertiser: 0},
+			},
+		}
+		if len(cfg.Instances) > 0 {
+			req.Instance = cfg.Instances[ops.Intn(len(cfg.Instances))]
+		}
+		patches = append(patches, req)
+	}
+	merged := append(tr, patches...)
+	// Stable by timestamp: a solve and a patch sharing an instant keep
+	// solve-before-patch order, matching the pre-merge positions.
+	sort.SliceStable(merged, func(a, b int) bool { return merged[a].AtMS < merged[b].AtMS })
+	for i := range merged {
+		merged[i].Index = i
+	}
+	return merged
 }
 
 // arrivalProcess returns the next-arrival function for cfg: given the

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -173,7 +174,7 @@ func TestTraceJSONLRoundTrip(t *testing.T) {
 		if err := json.Unmarshal([]byte(line), &r); err != nil {
 			t.Fatalf("line %d: %v", i, err)
 		}
-		if r != tr[i] {
+		if !reflect.DeepEqual(r, tr[i]) {
 			t.Fatalf("line %d round-trips to %+v, want %+v", i, r, tr[i])
 		}
 	}
